@@ -1,0 +1,20 @@
+.PHONY: install test bench bench-full results clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+results:
+	python scripts/generate_experiments.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,44 @@
+"""Benchmark suite configuration.
+
+Each benchmark file regenerates one table or figure of the paper via the
+experiment modules in :mod:`repro.bench.experiments`.  The report text is
+printed (run with ``-s`` to see it live) and archived under
+``benchmarks/reports/`` so EXPERIMENTS.md can reference concrete numbers.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full profile (registry-default
+dataset scales, full ``p`` grids) instead of the quick one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchReport
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+def pytest_configure(config):
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """False when REPRO_BENCH_FULL=1 — runs the slow, full-size profile."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+@pytest.fixture
+def archive_report():
+    """Print a BenchReport and save it under benchmarks/reports/."""
+
+    def _archive(report: BenchReport) -> None:
+        text = report.render()
+        print("\n" + text)
+        path = REPORTS_DIR / f"{report.experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _archive

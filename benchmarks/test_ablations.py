@@ -1,0 +1,55 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.experiments import ablations
+
+
+def test_rewiring_budget(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_rewiring_budget(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    deltas = report.column("avg delta")
+    # Δ is non-increasing in the rewiring budget (x = 0, 1, 4, 10).
+    assert all(b <= a + 1e-9 for a, b in zip(deltas, deltas[1:]))
+
+
+def test_initial_ranking(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_initial_ranking(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    sizes = dict(
+        zip(report.column("initial ranking"), report.column("giant component size"))
+    )
+    assert sizes["betweenness"] >= sizes["random"]
+
+
+def test_bm2_rounding(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_bm2_rounding(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    ratios = dict(zip(report.column("rounding"), report.column("achieved ratio")))
+    assert ratios["floor"] <= ratios["half_up"] <= ratios["ceil"]
+
+
+def test_bm2_edge_order(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_bm2_edge_order(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    deltas = report.column("avg delta")
+    # scan order is a second-order effect: within 50% of each other
+    assert max(deltas) <= 1.5 * min(deltas) + 1e-9
+
+
+def test_sampled_betweenness(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_sampled_betweenness(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    times = dict(zip(report.column("estimator"), report.column("time (s)")))
+    deltas = dict(zip(report.column("estimator"), report.column("avg delta")))
+    assert times["k=16"] < times["exact"]
+    # the rewiring phase repairs ranking noise: sampled delta within 2x exact
+    assert deltas["k=16"] <= 2.0 * deltas["exact"] + 0.1

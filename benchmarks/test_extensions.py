@@ -1,0 +1,122 @@
+"""Extension benches: connectivity, assortativity, progressive, core baseline."""
+
+from repro.bench.experiments import extensions
+
+
+def test_connectivity_preservation(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_connectivity(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    # giant-component utility degrades with p for every method but stays valid
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    for row in report.rows:
+        for method in ("UDS", "CRR", "BM2"):
+            assert 0.0 <= row[header_index[f"utility/{method}"]] <= 1.0
+
+
+def test_assortativity_preservation(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_assortativity(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    for row in report.rows:
+        for series in ("initial", "CRR", "BM2"):
+            value = row[header_index[series]]
+            if value is not None:
+                assert -1.0 <= value <= 1.0
+
+
+def test_progressive_vs_one_shot(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_progressive(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    progressive = report.column("progressive avg delta")
+    one_shot = report.column("one-shot avg delta")
+    # first level is identical by construction; deeper levels pay a bounded
+    # nesting premium
+    assert progressive[0] == one_shot[0]
+    for nested, direct in zip(progressive, one_shot):
+        assert nested <= 4 * direct + 0.5
+
+
+def test_estimation_errors(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_estimation(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    # size and degree estimators are tight for the degree-preserving methods
+    for row in report.rows:
+        _, _, edges_err, avg_deg_err, _, _ = row
+        assert edges_err < 0.05
+        assert avg_deg_err < 0.05
+
+
+def test_sparsifier_comparison(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_sparsifiers(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    by_p = {}
+    for p, method, ratio, delta, utility in report.rows:
+        by_p.setdefault(p, {})[method] = (ratio, delta, utility)
+    for p, methods in by_p.items():
+        # both sparsifiers pay a delta premium vs BM2
+        assert methods["Jaccard"][1] > methods["BM2"][1]
+        assert methods["LocalDegree"][1] > methods["BM2"][1]
+        # LocalDegree overshoots the edge budget by design
+        assert methods["LocalDegree"][0] > p
+
+
+def test_community_preservation(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_community(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    for row in report.rows:
+        for method in ("UDS", "CRR", "BM2"):
+            assert 0.0 <= row[header_index[f"NMI/{method}"]] <= 1.0
+
+
+def test_memory_footprint(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_memory(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    peaks = dict(zip(report.column("method"), report.column("peak MiB")))
+    # the resource-constraints claim, in memory terms
+    assert peaks["BM2"] < peaks["UDS"]
+    assert peaks["CRR"] < peaks["UDS"]
+    assert peaks["Streaming (BM2 phase 1)"] < peaks["BM2"]
+
+
+def test_scaling(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_scaling(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    crr_growth = [g for g in report.column("CRR growth") if g is not None]
+    # the paper's claim: CRR grows near-linearly per size doubling (with
+    # sampled betweenness).  BM2's runs are sub-10ms at quick scale, so
+    # its growth ratio is timing noise — assert its absolute advantage
+    # instead: BM2 beats CRR at every size.
+    assert all(g < 4.0 for g in crr_growth)
+    crr_times = report.column("CRR time (s)")
+    bm2_times = report.column("BM2 time (s)")
+    assert all(b < c for b, c in zip(bm2_times, crr_times))
+
+
+def test_core_baseline(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: extensions.run_core_baseline(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+    # density-first shedding pays a large delta premium vs BM2 at every p
+    rows_by_p = {}
+    for p, method, delta, utility in report.rows:
+        rows_by_p.setdefault(p, {})[method] = (delta, utility)
+    for p, methods in rows_by_p.items():
+        assert methods["CoreRank"][0] > methods["BM2"][0]

@@ -1,0 +1,22 @@
+"""Figure 10 — hop-plot distributions."""
+
+from repro.bench.experiments import fig10_hopplot
+
+
+def test_fig10_hopplot(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig10_hopplot.run(quick=quick, seed=0, p=0.5), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Hop-plots are cumulative in [0, 1] and reach 1.0 for every series
+    # (the paper normalises by reachable pairs).
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    finals = {}
+    for row in report.rows:
+        for series in ("initial", "UDS", "CRR", "BM2"):
+            value = row[header_index[series]]
+            assert -1e-9 <= value <= 1.0 + 1e-9
+            finals[(row[0], series)] = value
+    for value in finals.values():
+        assert value > 0.99

@@ -1,0 +1,17 @@
+"""Figure 4 — CRR steps sweep: reduction quality and time vs x."""
+
+from repro.bench.experiments import fig4_steps
+
+
+def test_fig4_steps(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig4_steps.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Paper shape: quality improves with x and flattens; x=10 is no worse
+    # than x=1 on both datasets.
+    for dataset in ("ca-grqc", "ca-hepph"):
+        deltas = dict(zip(report.column("x (steps = [x*P])"), report.column(f"{dataset} avg delta")))
+        assert deltas[10] <= deltas[1]
+        assert deltas[10] <= deltas[0]

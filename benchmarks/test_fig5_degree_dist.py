@@ -1,0 +1,23 @@
+"""Figure 5(c)-(d) — vertex degree distribution on email-Enron."""
+
+from repro.bench.experiments import fig56_degree_dist
+from repro.tasks.metrics import ks_statistic
+
+
+def _series(report, name):
+    index = report.headers.index(name)
+    return {row[0]: row[index] for row in report.rows}
+
+
+def test_fig5_degree_distribution(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig56_degree_dist.run(quick=quick, seed=0, p=0.5), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    initial = _series(report, "initial")
+    # Paper shape: the degree-preserving methods' estimated distributions
+    # track the initial distribution more closely than UDS's.
+    ks = {m: ks_statistic(initial, _series(report, m)) for m in ("UDS", "CRR", "BM2")}
+    assert ks["CRR"] < ks["UDS"]
+    assert ks["BM2"] < ks["UDS"]

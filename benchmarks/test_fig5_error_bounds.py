@@ -1,0 +1,22 @@
+"""Figure 5(a)-(b) — measured average Δ vs Theorem 1/2 bounds."""
+
+from repro.bench.experiments import fig5_error_bounds
+
+
+def test_fig5_error_bounds(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig5_error_bounds.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    crr = report.column("CRR avg delta")
+    crr_bound = report.column("CRR bound (Thm 1)")
+    bm2 = report.column("BM2 avg delta")
+    bm2_bound = report.column("BM2 bound (Thm 2)")
+
+    # Paper shape: bounds are loose but always hold, and the measured
+    # errors are small (< 1) for every p.
+    assert all(m <= b for m, b in zip(crr, crr_bound))
+    assert all(m <= b for m, b in zip(bm2, bm2_bound))
+    assert all(m < 1.0 for m in crr)
+    assert all(m < 1.0 for m in bm2)

@@ -1,0 +1,22 @@
+"""Figure 7 — shortest-path distance distributions at small p."""
+
+from repro.bench.experiments import fig7_sp_distance
+
+
+def test_fig7_sp_distance(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig7_sp_distance.run(quick=quick, seed=0, p=0.3), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Structural checks: per-dataset distributions each sum to ~1 for the
+    # initial graph and stay in [0, 1] for all methods.
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    per_dataset_initial = {}
+    for row in report.rows:
+        per_dataset_initial.setdefault(row[0], 0.0)
+        per_dataset_initial[row[0]] += row[header_index["initial"]]
+        for method in ("UDS", "CRR", "BM2"):
+            assert 0.0 <= row[header_index[method]] <= 1.0
+    for total in per_dataset_initial.values():
+        assert abs(total - 1.0) < 1e-6

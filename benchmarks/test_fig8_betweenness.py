@@ -1,0 +1,35 @@
+"""Figure 8 — betweenness centrality vs vertex degree at small p."""
+
+from repro.bench.experiments import fig89_curves
+from repro.tasks.metrics import curve_similarity
+
+
+def _series(report, dataset, name):
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    return {
+        row[1]: row[header_index[name]]
+        for row in report.rows
+        if row[0] == dataset and row[header_index[name]] is not None
+    }
+
+
+def test_fig8_betweenness(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig89_curves.run_betweenness(quick=quick, seed=0, p=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+
+    # Paper shape: averaged over the three datasets, CRR tracks the initial
+    # betweenness-vs-degree curve better than UDS.
+    datasets = ("ca-grqc", "ca-hepph", "email-enron")
+    crr_score = sum(
+        curve_similarity(_series(report, d, "initial"), _series(report, d, "CRR"))
+        for d in datasets
+    )
+    uds_score = sum(
+        curve_similarity(_series(report, d, "initial"), _series(report, d, "UDS"))
+        for d in datasets
+    )
+    assert crr_score > uds_score

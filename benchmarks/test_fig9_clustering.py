@@ -1,0 +1,23 @@
+"""Figure 9 — clustering coefficient vs vertex degree at small p."""
+
+from repro.bench.experiments import fig89_curves
+
+
+def test_fig9_clustering(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: fig89_curves.run_clustering(quick=quick, seed=0, p=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    archive_report(report)
+
+    # Structural check: coefficients are valid and every dataset appears.
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    datasets = set()
+    for row in report.rows:
+        datasets.add(row[0])
+        for series in ("initial", "UDS", "CRR", "BM2"):
+            value = row[header_index[series]]
+            if value is not None:
+                assert 0.0 <= value <= 1.0
+    assert datasets == {"ca-grqc", "ca-hepph", "email-enron"}

@@ -1,0 +1,20 @@
+"""Table X — utility of link prediction within community."""
+
+from repro.bench.experiments import tab10_linkpred
+
+
+def test_tab10_linkpred(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: tab10_linkpred.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # All utilities valid; utilities at the largest p are non-trivial for
+    # the degree-preserving methods.
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    for row in report.rows:
+        for header in report.headers[1:]:
+            assert 0.0 <= row[header_index[header]] <= 1.0
+    largest_p = report.rows[0]
+    for dataset in ("ca-grqc", "ca-hepph", "email-enron"):
+        assert largest_p[header_index[f"{dataset}/CRR"]] > 0.2

@@ -1,0 +1,22 @@
+"""Table III — graph reduction time for UDS / CRR / BM2 on all datasets."""
+
+from repro.bench.experiments import tab3_reduction_time
+
+
+def test_tab3_reduction_time(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: tab3_reduction_time.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Paper shape: BM2 << CRR << UDS on every dataset where UDS runs.
+    for dataset in ("ca-grqc", "ca-hepph", "email-enron"):
+        uds = report.column(f"{dataset}/UDS")
+        crr = report.column(f"{dataset}/CRR")
+        bm2 = report.column(f"{dataset}/BM2")
+        for u, c, b in zip(uds, crr, bm2):
+            assert b < c < u
+
+    # Paper shape: UDS cannot run com-LiveJournal; CRR and BM2 can.
+    assert all(v is None for v in report.column("com-livejournal/UDS"))
+    assert all(v is not None for v in report.column("com-livejournal/BM2"))

@@ -1,0 +1,19 @@
+"""Table V — total processing time on ca-GrQc (cheap tasks)."""
+
+from repro.bench.experiments import tab45_total_time
+
+
+def test_tab5_total_time(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: tab45_total_time.run_table5(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Paper shape: at small p the degree-preserving methods still beat UDS
+    # even though the tasks themselves are cheap.
+    smallest_p_row = report.rows[-1]
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    for task in ("Top-k", "Vertex degree", "Clustering coefficient"):
+        uds = smallest_p_row[header_index[f"{task}/UDS"]]
+        bm2 = smallest_p_row[header_index[f"{task}/BM2"]]
+        assert bm2 < uds

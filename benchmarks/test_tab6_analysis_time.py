@@ -1,0 +1,19 @@
+"""Table VI — analysis time on reduced graphs, email-Enron (expensive tasks)."""
+
+from repro.bench.experiments import tab67_analysis_time
+
+
+def test_tab6_analysis_time(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: tab67_analysis_time.run_table6(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Paper shape: analysis time on the reduced graph shrinks as p shrinks
+    # for the BFS-bound tasks (compare p=0.9 to p=0.1 for CRR and BM2).
+    header_index = {h: i for i, h in enumerate(report.headers)}
+    first_p, last_p = report.rows[1], report.rows[-1]
+    for task in ("SP distance", "Hop-plot"):
+        for method in ("CRR", "BM2"):
+            column = header_index[f"{task}/{method}"]
+            assert last_p[column] <= first_p[column] * 1.5  # allow timer noise

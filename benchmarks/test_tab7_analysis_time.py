@@ -1,0 +1,16 @@
+"""Table VII — analysis time on reduced graphs, email-Enron (cheap tasks)."""
+
+from repro.bench.experiments import tab67_analysis_time
+
+
+def test_tab7_analysis_time(benchmark, quick, archive_report):
+    report = benchmark.pedantic(
+        lambda: tab67_analysis_time.run_table7(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    archive_report(report)
+
+    # Structural check: T row plus three p rows, all time cells non-negative.
+    assert report.rows[0][0] == "T"
+    for row in report.rows[1:]:
+        for value in row[1:]:
+            assert value >= 0.0

@@ -1,0 +1,46 @@
+"""Scenario: estimate original-graph statistics from a reduced graph.
+
+The paper's core promise — "estimating the original graph information
+from the reduced graph" — demonstrated end to end: reduce a graph to 40%
+of its edges with BM2, then recover the original's edge count, average
+degree, triangle count and global clustering coefficient using the
+Horvitz-Thompson style estimators in ``repro.analysis``.
+
+Run:  python examples/estimate_from_reduced.py
+"""
+
+from repro import BM2Shedder, load_dataset
+from repro.analysis import estimation_report
+from repro.bench import render_table
+
+
+def main() -> None:
+    graph = load_dataset("ca-grqc", scale=0.1, seed=0)
+    p = 0.4
+    result = BM2Shedder(seed=0).reduce(graph, p)
+    print(result.summary(), "\n")
+
+    report = estimation_report(graph, result.reduced, p)
+    rows = [
+        ["edges", report.true_num_edges, report.estimated_num_edges],
+        ["average degree", report.true_average_degree, report.estimated_average_degree],
+        ["triangles", report.true_triangles, report.estimated_triangles],
+        ["global clustering", report.true_global_clustering, report.estimated_global_clustering],
+    ]
+    print(render_table(["quantity", "true (original)", "estimated (from 40% graph)"], rows))
+
+    errors = report.relative_errors()
+    print(
+        f"\nrelative errors: edges {errors['num_edges']:.1%}, "
+        f"avg degree {errors['average_degree']:.1%}, "
+        f"triangles {errors['triangles']:.1%}, "
+        f"clustering {errors['global_clustering']:.1%}"
+    )
+    print(
+        "degree/size estimates are tight because BM2 steers every node to"
+        " its expected degree; triangle-based estimates carry more variance"
+    )
+
+
+if __name__ == "__main__":
+    main()

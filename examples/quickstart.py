@@ -1,0 +1,35 @@
+"""Quickstart: shed half the edges of a collaboration network, keep its shape.
+
+Loads the ca-GrQc surrogate, reduces it with BM2 (the fast method) at
+p = 0.5, and shows what survived: the degree discrepancy Δ, the theoretical
+bound it respects, and the utility of a top-10% PageRank query answered
+from the reduced graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BM2Shedder, TopKQueryTask, bm2_bound_for_graph, load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("ca-grqc", scale=0.1, seed=0)
+    print(f"original graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    shedder = BM2Shedder(seed=0)
+    result = shedder.reduce(graph, p=0.5)
+    print(result.summary())
+    print(
+        f"average discrepancy {result.average_delta:.3f} "
+        f"<= Theorem 2 bound {bm2_bound_for_graph(graph, 0.5):.3f}"
+    )
+
+    task = TopKQueryTask(t_percent=10.0)
+    evaluation = task.evaluate(graph, result)
+    print(
+        f"top-10% PageRank query answered from the half-size graph: "
+        f"{evaluation.utility:.0%} of the true top nodes recovered"
+    )
+
+
+if __name__ == "__main__":
+    main()

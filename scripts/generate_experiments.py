@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run every registered experiment and regenerate RESULTS.md.
+
+Usage:
+    python scripts/generate_experiments.py [--full] [--seed 0]
+                                           [--only tab8,fig4]
+                                           [--output RESULTS.md]
+
+Writes one JSON report per experiment under ``benchmarks/reports/json/``
+and a consolidated markdown document (default ``RESULTS.md``) with every
+table.  ``--full`` uses the registry-default dataset scales (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import render_markdown, save_report_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full-size profile (slow)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", help="comma-separated experiment ids to run")
+    parser.add_argument("--output", default=str(REPO_ROOT / "RESULTS.md"))
+    args = parser.parse_args(argv)
+
+    if args.only:
+        wanted = [token.strip() for token in args.only.split(",") if token.strip()]
+        unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiments: {', '.join(unknown)}")
+        experiments = {key: ALL_EXPERIMENTS[key] for key in wanted}
+    else:
+        experiments = dict(ALL_EXPERIMENTS)
+
+    json_dir = REPO_ROOT / "benchmarks" / "reports" / "json"
+    json_dir.mkdir(parents=True, exist_ok=True)
+
+    sections = [
+        "# RESULTS — regenerated experiment tables",
+        "",
+        f"profile: {'full' if args.full else 'quick'}; seed: {args.seed}.",
+        "See EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+    ]
+    for key, runner in experiments.items():
+        start = time.perf_counter()
+        report = runner(quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        save_report_json(report, json_dir / f"{report.experiment_id}.json")
+        sections.append(render_markdown(report))
+        sections.append("")
+        print(f"{key}: done in {elapsed:.1f}s", file=sys.stderr)
+
+    Path(args.output).write_text("\n".join(sections), encoding="utf-8")
+    print(f"wrote {args.output} ({len(experiments)} experiments)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

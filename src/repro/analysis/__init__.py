@@ -1,0 +1,30 @@
+"""Analysis helpers: original-graph estimation and structural summaries."""
+
+from repro.analysis.estimation import (
+    EstimationReport,
+    estimate_average_degree,
+    estimate_degree,
+    estimate_degrees,
+    estimate_global_clustering,
+    estimate_num_edges,
+    estimate_triangle_count,
+    estimate_wedge_count,
+    estimation_report,
+    wedge_count,
+)
+from repro.analysis.stats import GraphStats, graph_stats
+
+__all__ = [
+    "estimate_num_edges",
+    "estimate_degree",
+    "estimate_degrees",
+    "estimate_average_degree",
+    "estimate_wedge_count",
+    "estimate_triangle_count",
+    "estimate_global_clustering",
+    "estimation_report",
+    "EstimationReport",
+    "wedge_count",
+    "GraphStats",
+    "graph_stats",
+]

@@ -1,0 +1,94 @@
+"""One-call structural summary of a graph.
+
+``graph_stats(g)`` computes the statistics a user inspects before and
+after a reduction: sizes, degree summary, clustering, connectivity, a
+heavy-tail exponent, and assortativity.  Exact computations are used up
+to ``exact_limit`` nodes; beyond that the BFS-bound quantities switch to
+sampled estimators so the call stays laptop-friendly on large graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.assortativity import degree_assortativity
+from repro.graph.clustering import average_clustering
+from repro.graph.degree import estimate_powerlaw_exponent, max_degree
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import effective_diameter
+from repro.graph.traversal import connected_components
+from repro.rng import RandomState
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of one graph."""
+
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    density: float
+    average_clustering: float
+    num_components: int
+    giant_component_fraction: float
+    effective_diameter_90: float
+    powerlaw_alpha: float
+    degree_assortativity: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"nodes: {self.num_nodes}",
+            f"edges: {self.num_edges}",
+            f"average degree: {self.average_degree:.3f}",
+            f"max degree: {self.max_degree}",
+            f"density: {self.density:.6f}",
+            f"average clustering: {self.average_clustering:.4f}",
+            f"components: {self.num_components}"
+            f" (giant covers {self.giant_component_fraction:.1%})",
+            f"90% effective diameter: {self.effective_diameter_90:.2f}",
+            f"power-law alpha: {self.powerlaw_alpha:.2f}",
+            f"degree assortativity: {self.degree_assortativity:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def graph_stats(
+    graph: Graph,
+    exact_limit: int = 2000,
+    num_sources: int = 128,
+    seed: RandomState = 0,
+) -> GraphStats:
+    """Compute a :class:`GraphStats` for ``graph``.
+
+    Graphs above ``exact_limit`` nodes use ``num_sources`` sampled BFS
+    sources for the effective diameter.
+    """
+    n = graph.num_nodes
+    components = connected_components(graph)
+    giant = len(components[0]) / n if components and n else 0.0
+
+    if n >= 2 and graph.num_edges > 0:
+        sources: Optional[int] = None if n <= exact_limit else num_sources
+        diameter = effective_diameter(graph, fraction=0.9, num_sources=sources, seed=seed)
+    else:
+        diameter = float("nan")
+
+    alpha, _ = estimate_powerlaw_exponent(graph) if n else (float("nan"), 0)
+    return GraphStats(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree(),
+        max_degree=max_degree(graph),
+        density=graph.density(),
+        average_clustering=average_clustering(graph),
+        num_components=len(components),
+        giant_component_fraction=giant,
+        effective_diameter_90=diameter,
+        powerlaw_alpha=alpha,
+        degree_assortativity=degree_assortativity(graph),
+    )

@@ -1,0 +1,10 @@
+"""Competing graph-reduction methods the paper compares against.
+
+Currently: UDS (utility-driven graph summarization), the state-of-the-art
+grouping-based baseline from Kumar & Efstathopoulos (VLDB 2019).
+"""
+
+from repro.baselines.summary import GraphSummary
+from repro.baselines.uds import UDSSummarizer
+
+__all__ = ["GraphSummary", "UDSSummarizer"]

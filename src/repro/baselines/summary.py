@@ -1,0 +1,203 @@
+"""Supernode/superedge data model for grouping-based summarization.
+
+UDS (Kumar & Efstathopoulos, VLDB 2019) represents a graph as a *summary*:
+a partition of the original nodes into supernodes, plus superedges between
+supernodes.  A superedge (A, B) asserts "every pair across A and B is
+connected" (for A = B: "A is a clique"), so a summary is lossy in both
+directions — it drops real edges not covered by any superedge and invents
+spurious pairs inside covered blocks.
+
+:class:`GraphSummary` owns the partition bookkeeping (union-find with
+explicit member sets, since merge order is data-dependent) and can expand
+itself back into a plain :class:`Graph` for the evaluation tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Node
+
+__all__ = ["GraphSummary"]
+
+
+class GraphSummary:
+    """A supernode partition of an original graph plus chosen superedges.
+
+    Supernodes are identified by a representative original node; members
+    are tracked explicitly so merges are O(smaller side).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        #: original node -> representative of its supernode
+        self._rep: Dict[Node, Node] = {node: node for node in graph.nodes()}
+        #: representative -> member set
+        self._members: Dict[Node, Set[Node]] = {node: {node} for node in graph.nodes()}
+        #: chosen superedges as frozensets of 1 or 2 representatives
+        self._superedges: Set[FrozenSet[Node]] = set()
+
+    # ------------------------------------------------------------------
+    # Partition bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def representative(self, node: Node) -> Node:
+        return self._rep[node]
+
+    def members(self, representative: Node) -> Set[Node]:
+        """Member set of the supernode led by ``representative``."""
+        if representative not in self._members:
+            raise GraphError(f"{representative!r} is not a supernode representative")
+        return set(self._members[representative])
+
+    def supernodes(self) -> List[Node]:
+        """Current representatives (insertion-order stable)."""
+        return list(self._members)
+
+    @property
+    def num_supernodes(self) -> int:
+        return len(self._members)
+
+    def merge(self, a: Node, b: Node) -> Node:
+        """Merge the supernodes containing ``a`` and ``b``; return the new rep.
+
+        The larger side's representative survives (weighted union).
+        """
+        rep_a, rep_b = self._rep[a], self._rep[b]
+        if rep_a == rep_b:
+            raise GraphError(f"{a!r} and {b!r} are already in the same supernode")
+        if len(self._members[rep_a]) < len(self._members[rep_b]):
+            rep_a, rep_b = rep_b, rep_a
+        absorbed = self._members.pop(rep_b)
+        for node in absorbed:
+            self._rep[node] = rep_a
+        self._members[rep_a] |= absorbed
+        # Superedges touching the absorbed representative follow the merge.
+        stale = [se for se in self._superedges if rep_b in se]
+        for se in stale:
+            self._superedges.discard(se)
+            replacement = frozenset(rep_a if r == rep_b else r for r in se)
+            self._superedges.add(replacement)
+        return rep_a
+
+    # ------------------------------------------------------------------
+    # Superedges
+    # ------------------------------------------------------------------
+
+    def set_superedges(self, pairs: Iterable[Tuple[Node, Node]]) -> None:
+        """Replace the superedge set; each pair is (rep_a, rep_b), a==b ok."""
+        superedges: Set[FrozenSet[Node]] = set()
+        for a, b in pairs:
+            if a not in self._members or b not in self._members:
+                raise GraphError(f"({a!r}, {b!r}) references a non-representative")
+            superedges.add(frozenset((a, b)))
+        self._superedges = superedges
+
+    def superedges(self) -> List[Tuple[Node, Node]]:
+        """Superedges as (rep, rep) tuples; self-superedges repeat the rep."""
+        result = []
+        for se in self._superedges:
+            items = sorted(se, key=lambda r: str(r))
+            if len(items) == 1:
+                result.append((items[0], items[0]))
+            else:
+                result.append((items[0], items[1]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Pair coverage and reconstruction
+    # ------------------------------------------------------------------
+
+    def block_pairs(self, rep_a: Node, rep_b: Node) -> int:
+        """Number of distinct node pairs the superedge (rep_a, rep_b) covers."""
+        size_a = len(self._members[rep_a])
+        if rep_a == rep_b:
+            return size_a * (size_a - 1) // 2
+        return size_a * len(self._members[rep_b])
+
+    def actual_edges_between(self, rep_a: Node, rep_b: Node) -> int:
+        """Original edges with one endpoint in each supernode (or inside one)."""
+        members_a = self._members[rep_a]
+        if rep_a == rep_b:
+            count = 0
+            for node in members_a:
+                for neighbor in self._graph.neighbors(node):
+                    if neighbor in members_a:
+                        count += 1
+            return count // 2
+        members_b = self._members[rep_b]
+        small, large = (
+            (members_a, members_b)
+            if len(members_a) <= len(members_b)
+            else (members_b, members_a)
+        )
+        count = 0
+        for node in small:
+            for neighbor in self._graph.neighbors(node):
+                if neighbor in large:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (supernode membership + superedges).
+
+        The original graph itself is not embedded — a summary is only
+        meaningful next to its graph, which the caller already has.
+        """
+        return {
+            "supernodes": [
+                {"representative": rep, "members": sorted(self._members[rep], key=str)}
+                for rep in self._members
+            ],
+            "superedges": [list(pair) for pair in self.superedges()],
+        }
+
+    @classmethod
+    def from_dict(cls, graph: Graph, payload: dict) -> "GraphSummary":
+        """Rebuild a summary over ``graph`` from :meth:`to_dict` output."""
+        if "supernodes" not in payload or "superedges" not in payload:
+            raise GraphError("payload is not a GraphSummary dict")
+        summary = cls(graph)
+        for entry in payload["supernodes"]:
+            representative = entry["representative"]
+            for member in entry["members"]:
+                if member != representative and summary.representative(member) != summary.representative(representative):
+                    summary.merge(representative, member)
+        # Re-point superedges at current representatives (merge order may
+        # have changed which member leads each supernode).
+        pairs = []
+        for a, b in payload["superedges"]:
+            pairs.append((summary.representative(a), summary.representative(b)))
+        summary.set_superedges(pairs)
+        return summary
+
+    def reconstruct(self) -> Graph:
+        """Expand the summary into a plain graph on the original node set.
+
+        Every superedge becomes the complete bipartite (or clique) expansion
+        of its blocks.  Edges of the original graph not covered by any
+        superedge are lost — this is the lossy reconstruction the evaluation
+        tasks consume.
+        """
+        expanded = Graph(nodes=self._graph.nodes())
+        for rep_a, rep_b in self.superedges():
+            members_a = sorted(self._members[rep_a], key=str)
+            if rep_a == rep_b:
+                for i, u in enumerate(members_a):
+                    for v in members_a[i + 1 :]:
+                        expanded.add_edge(u, v)
+            else:
+                members_b = self._members[rep_b]
+                for u in members_a:
+                    for v in members_b:
+                        expanded.add_edge(u, v)
+        return expanded

@@ -1,0 +1,35 @@
+"""Benchmark harness reproducing every table and figure of the paper."""
+
+from repro.bench.harness import (
+    BenchReport,
+    ReductionCache,
+    default_shedders,
+    full_scales,
+    quick_scales,
+)
+from repro.bench.memory import MemoryMeasurement, measure_peak_memory
+from repro.bench.reporting import (
+    load_report_json,
+    render_markdown,
+    report_from_dict,
+    report_to_dict,
+    save_report_json,
+)
+from repro.bench.tables import format_cell, render_table
+
+__all__ = [
+    "BenchReport",
+    "ReductionCache",
+    "default_shedders",
+    "quick_scales",
+    "full_scales",
+    "render_table",
+    "format_cell",
+    "measure_peak_memory",
+    "MemoryMeasurement",
+    "report_to_dict",
+    "report_from_dict",
+    "save_report_json",
+    "load_report_json",
+    "render_markdown",
+]

@@ -1,0 +1,72 @@
+"""One module per paper table/figure, plus ablations.
+
+Every experiment exposes ``run(quick=True, seed=0) -> BenchReport`` (the
+tables with two halves expose ``run_table4``-style variants).  See
+DESIGN.md §3 for the experiment index.
+"""
+
+from repro.bench.experiments import (
+    ablations,
+    extensions,
+    fig4_steps,
+    fig5_error_bounds,
+    fig7_sp_distance,
+    fig10_hopplot,
+    fig56_degree_dist,
+    fig89_curves,
+    tab3_reduction_time,
+    tab10_linkpred,
+    tab45_total_time,
+    tab67_analysis_time,
+    tab89_topk,
+)
+
+__all__ = [
+    "fig4_steps",
+    "tab3_reduction_time",
+    "tab45_total_time",
+    "tab67_analysis_time",
+    "fig5_error_bounds",
+    "fig56_degree_dist",
+    "fig7_sp_distance",
+    "fig89_curves",
+    "fig10_hopplot",
+    "tab89_topk",
+    "tab10_linkpred",
+    "ablations",
+    "extensions",
+]
+
+#: experiment id -> callable, for the CLI and EXPERIMENTS.md generation.
+ALL_EXPERIMENTS = {
+    "fig4": fig4_steps.run,
+    "tab3": tab3_reduction_time.run,
+    "tab4": tab45_total_time.run_table4,
+    "tab5": tab45_total_time.run_table5,
+    "tab6": tab67_analysis_time.run_table6,
+    "tab7": tab67_analysis_time.run_table7,
+    "fig5ab": fig5_error_bounds.run,
+    "fig5cd": fig56_degree_dist.run,
+    "fig6": fig56_degree_dist.run_zoom,
+    "fig7": fig7_sp_distance.run,
+    "fig8": fig89_curves.run_betweenness,
+    "fig9": fig89_curves.run_clustering,
+    "fig10": fig10_hopplot.run,
+    "tab8": tab89_topk.run_table8,
+    "tab9": tab89_topk.run_table9,
+    "tab10": tab10_linkpred.run,
+    "ablation-rewiring": ablations.run_rewiring_budget,
+    "ablation-ranking": ablations.run_initial_ranking,
+    "ablation-rounding": ablations.run_bm2_rounding,
+    "ablation-edge-order": ablations.run_bm2_edge_order,
+    "ablation-sampling": ablations.run_sampled_betweenness,
+    "ext-connectivity": extensions.run_connectivity,
+    "ext-assortativity": extensions.run_assortativity,
+    "ext-progressive": extensions.run_progressive,
+    "ext-core-baseline": extensions.run_core_baseline,
+    "ext-estimation": extensions.run_estimation,
+    "ext-sparsifiers": extensions.run_sparsifiers,
+    "ext-community": extensions.run_community,
+    "ext-memory": extensions.run_memory,
+    "ext-scaling": extensions.run_scaling,
+}

@@ -1,0 +1,57 @@
+"""Table III — graph reduction time (seconds).
+
+Reduction wall-clock for UDS, CRR and BM2 on all four dataset surrogates
+over the ``p`` grid.  Paper shape: BM2 ≪ CRR ≪ UDS everywhere; UDS's time
+explodes as ``p`` shrinks (more merging work) while CRR/BM2 stay flat;
+UDS cannot finish com-LiveJournal at all (we skip it there, as the paper
+had to).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    BenchReport,
+    ReductionCache,
+    default_shedders,
+    quick_scales,
+)
+
+__all__ = ["run"]
+
+_DATASETS = ("ca-grqc", "ca-hepph", "email-enron", "com-livejournal")
+_METHODS = ("UDS", "CRR", "BM2")
+
+
+def run(quick: bool = True, seed: int = 0) -> BenchReport:
+    """Table III: reduction wall-clock for UDS/CRR/BM2 on all datasets."""
+    scales = quick_scales() if quick else {name: None for name in _DATASETS}
+    p_grid = (0.9, 0.5, 0.1) if quick else tuple(round(0.9 - 0.1 * i, 1) for i in range(9))
+    sources = 64 if quick else 256
+    cache = ReductionCache(seed=seed)
+    shedders = default_shedders(seed=seed, crr_sources=sources)
+
+    headers = ["p"] + [
+        f"{dataset}/{method}" for dataset in _DATASETS for method in _METHODS
+    ]
+    rows = []
+    for p in p_grid:
+        row: list[object] = [p]
+        for dataset in _DATASETS:
+            for method in _METHODS:
+                if dataset == "com-livejournal" and method == "UDS":
+                    row.append(None)  # paper: UDS cannot finish this dataset
+                    continue
+                result = cache.reduce(dataset, scales.get(dataset), method, shedders[method], p)
+                row.append(result.elapsed_seconds)
+        rows.append(row)
+
+    return BenchReport(
+        experiment_id="tab3",
+        title="Table III — graph reduction time (sec)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper shape: BM2 << CRR << UDS; UDS grows as p shrinks; UDS is"
+            " skipped on com-livejournal (could not finish in the paper either)",
+        ],
+    )

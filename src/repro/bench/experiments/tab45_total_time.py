@@ -1,0 +1,108 @@
+"""Tables IV and V — total processing time on ca-GrQc (seconds).
+
+Total time = reduction time + task time on the reduced graph, compared to
+the "T" row (running the task directly on the original graph).  Table IV
+covers the expensive tasks (link prediction, SP distance, betweenness,
+hop-plot); Table V the cheap ones (top-k, vertex degree, clustering
+coefficient).  Paper shape: at small ``p`` CRR and BM2 beat both UDS and
+the direct computation; for the cheap tasks the reduction cost dominates,
+so the advantage over direct computation shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bench.harness import (
+    BenchReport,
+    ReductionCache,
+    default_shedders,
+    quick_scales,
+)
+from repro.tasks.base import GraphTask
+from repro.tasks.betweenness import BetweennessCentralityTask
+from repro.tasks.clustering import ClusteringCoefficientTask
+from repro.tasks.degree import DegreeDistributionTask
+from repro.tasks.hopplot import HopPlotTask
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.sp_distance import ShortestPathDistanceTask
+from repro.tasks.topk import TopKQueryTask
+
+__all__ = ["run_table4", "run_table5"]
+
+_DATASET = "ca-grqc"
+_METHODS = ("UDS", "CRR", "BM2")
+
+
+def _tasks_for(table: int, quick: bool, seed: int) -> Dict[str, GraphTask]:
+    sources = 64 if quick else 256
+    if table == 4:
+        return {
+            "Link prediction": LinkPredictionTask(seed=seed),
+            "SP distance": ShortestPathDistanceTask(num_sources=sources, seed=seed),
+            "Betweenness centrality": BetweennessCentralityTask(
+                num_sources=sources, seed=seed
+            ),
+            "Hop-plot": HopPlotTask(num_sources=sources, seed=seed),
+        }
+    return {
+        "Top-k": TopKQueryTask(),
+        "Vertex degree": DegreeDistributionTask(),
+        "Clustering coefficient": ClusteringCoefficientTask(),
+    }
+
+
+def _run(table: int, quick: bool, seed: int) -> BenchReport:
+    scales = quick_scales() if quick else {_DATASET: None}
+    p_grid: Sequence[float] = (0.9, 0.5, 0.1)
+    cache = ReductionCache(seed=seed)
+    shedders = default_shedders(seed=seed, crr_sources=64 if quick else 256)
+    tasks = _tasks_for(table, quick, seed)
+
+    graph = cache.graph(_DATASET, scales.get(_DATASET))
+    headers = ["p"] + [
+        f"{task}/{method}" for task in tasks for method in _METHODS
+    ]
+
+    # "T" row: the task run directly on the original graph.
+    t_row: list[object] = ["T"]
+    direct_times = {
+        name: task.compute(graph, scale=1.0).elapsed_seconds
+        for name, task in tasks.items()
+    }
+    for task_name in tasks:
+        t_row += [direct_times[task_name], None, None]
+
+    rows = [t_row]
+    for p in p_grid:
+        row: list[object] = [p]
+        for task_name, task in tasks.items():
+            for method in _METHODS:
+                result = cache.reduce(_DATASET, scales.get(_DATASET), method, shedders[method], p)
+                artifact = task.compute_for_result(result)
+                row.append(result.elapsed_seconds + artifact.elapsed_seconds)
+        rows.append(row)
+
+    return BenchReport(
+        experiment_id=f"tab{table}",
+        title=(
+            f"Table {'IV' if table == 4 else 'V'} — total processing time on"
+            f" ca-GrQc (sec); T = direct computation on the original graph"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=[
+            "total = reduction time + task time on the reduced graph",
+            "paper shape: at p=0.1 CRR and BM2 are far cheaper than UDS",
+        ],
+    )
+
+
+def run_table4(quick: bool = True, seed: int = 0) -> BenchReport:
+    """Table IV: link prediction, SP distance, betweenness, hop-plot."""
+    return _run(4, quick, seed)
+
+
+def run_table5(quick: bool = True, seed: int = 0) -> BenchReport:
+    """Table V: top-k, vertex degree, clustering coefficient."""
+    return _run(5, quick, seed)

@@ -1,0 +1,70 @@
+"""Tables VI and VII — graph analysis time on reduced graphs (email-Enron).
+
+Unlike Tables IV-V this measures *only* the task time on the reduced
+graph, against the "T" row (task on the original).  Paper shape: analysis
+on reduced graphs is cheaper than on the original in most cells, shrinking
+with ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import (
+    BenchReport,
+    ReductionCache,
+    default_shedders,
+    quick_scales,
+)
+from repro.bench.experiments.tab45_total_time import _tasks_for
+
+__all__ = ["run_table6", "run_table7"]
+
+_DATASET = "email-enron"
+_METHODS = ("UDS", "CRR", "BM2")
+
+
+def _run(table: int, quick: bool, seed: int) -> BenchReport:
+    scales = quick_scales() if quick else {_DATASET: None}
+    p_grid: Sequence[float] = (0.9, 0.5, 0.1)
+    cache = ReductionCache(seed=seed)
+    shedders = default_shedders(seed=seed, crr_sources=64 if quick else 256)
+    tasks = _tasks_for(4 if table == 6 else 5, quick, seed)
+
+    graph = cache.graph(_DATASET, scales.get(_DATASET))
+    headers = ["p"] + [f"{task}/{method}" for task in tasks for method in _METHODS]
+
+    t_row: list[object] = ["T"]
+    for task_name, task in tasks.items():
+        t_row += [task.compute(graph, scale=1.0).elapsed_seconds, None, None]
+
+    rows = [t_row]
+    for p in p_grid:
+        row: list[object] = [p]
+        for task_name, task in tasks.items():
+            for method in _METHODS:
+                result = cache.reduce(_DATASET, scales.get(_DATASET), method, shedders[method], p)
+                artifact = task.compute_for_result(result)
+                row.append(artifact.elapsed_seconds)
+        rows.append(row)
+
+    return BenchReport(
+        experiment_id=f"tab{table}",
+        title=(
+            f"Table {'VI' if table == 6 else 'VII'} — graph analysis time on"
+            f" reduced graphs, email-Enron (sec); T = original graph"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=["paper shape: analysis time drops with p in most cells"],
+    )
+
+
+def run_table6(quick: bool = True, seed: int = 0) -> BenchReport:
+    """Table VI: link prediction, SP distance, betweenness, hop-plot."""
+    return _run(6, quick, seed)
+
+
+def run_table7(quick: bool = True, seed: int = 0) -> BenchReport:
+    """Table VII: top-k, vertex degree, clustering coefficient."""
+    return _run(7, quick, seed)

@@ -1,0 +1,52 @@
+"""Peak-memory instrumentation for reduction runs.
+
+The paper's motivation is reduction under *resource constraints* — and
+memory, not time, is usually the hard wall on a laptop.  This module
+measures the peak Python heap allocation of a callable with
+``tracemalloc`` so the benchmarks can compare the methods' working-set
+sizes (UDS's pair bookkeeping vs CRR's edge pools vs BM2's counters vs
+the streaming shedder's O(|V|) tables).
+
+tracemalloc tracks Python-level allocations only (numpy buffers included,
+C-internal scratch excluded) and slows execution noticeably, so this is
+a measurement harness, not something to wrap production calls in.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["MemoryMeasurement", "measure_peak_memory"]
+
+
+@dataclass(frozen=True)
+class MemoryMeasurement:
+    """Result of one instrumented call."""
+
+    value: Any
+    peak_bytes: int
+    allocated_bytes: int
+
+    @property
+    def peak_mib(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measure_peak_memory(fn: Callable[[], Any]) -> MemoryMeasurement:
+    """Run ``fn`` under tracemalloc; return its value and peak allocation.
+
+    Nested calls are not supported (tracemalloc is process-global); a
+    ``RuntimeError`` is raised if tracing is already active so a broken
+    caller fails loudly instead of producing garbage numbers.
+    """
+    if tracemalloc.is_tracing():
+        raise RuntimeError("measure_peak_memory does not support nesting")
+    tracemalloc.start()
+    try:
+        value = fn()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return MemoryMeasurement(value=value, peak_bytes=peak, allocated_bytes=current)

@@ -1,0 +1,76 @@
+"""Report persistence and markdown rendering.
+
+BenchReports serialise to JSON (for archival and regression diffing) and
+render to GitHub-flavoured markdown tables (for RESULTS.md).  The
+``scripts/generate_experiments.py`` driver uses both.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.bench.harness import BenchReport
+from repro.bench.tables import format_cell
+from repro.errors import BenchError
+
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "save_report_json",
+    "load_report_json",
+    "render_markdown",
+]
+
+PathLike = Union[str, Path]
+
+
+def report_to_dict(report: BenchReport) -> dict:
+    """JSON-ready representation of a report."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "notes": list(report.notes),
+    }
+
+
+def report_from_dict(payload: dict) -> BenchReport:
+    """Inverse of :func:`report_to_dict`."""
+    required = {"experiment_id", "title", "headers", "rows"}
+    missing = required - payload.keys()
+    if missing:
+        raise BenchError(f"report payload missing keys: {sorted(missing)}")
+    return BenchReport(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        rows=[list(row) for row in payload["rows"]],
+        notes=list(payload.get("notes", [])),
+    )
+
+
+def save_report_json(report: BenchReport, path: PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report_to_dict(report), handle, indent=2)
+
+
+def load_report_json(path: PathLike) -> BenchReport:
+    with open(path, "r", encoding="utf-8") as handle:
+        return report_from_dict(json.load(handle))
+
+
+def render_markdown(report: BenchReport, precision: int = 3) -> str:
+    """GitHub-flavoured markdown table with title heading and notes."""
+    lines: List[str] = [f"### {report.title}", ""]
+    lines.append("| " + " | ".join(report.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in report.headers) + "|")
+    for row in report.rows:
+        cells = [format_cell(cell, precision) for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in report.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benches print the same row/column layout the paper's tables use, so a
+reader can put EXPERIMENTS.md next to the PDF and compare shapes cell by
+cell.  Everything is simple monospace alignment — no external deps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Human-friendly cell formatting: floats rounded, None blank."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table with a rule under the header."""
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {columns} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

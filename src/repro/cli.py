@@ -1,0 +1,268 @@
+"""Command-line front end.
+
+Subcommands::
+
+    repro-shed reduce      --dataset ca-grqc --method bm2 --p 0.5 [--output out.txt]
+    repro-shed evaluate    --dataset ca-grqc --method crr --p 0.5 [--tasks topk,degree]
+    repro-shed progressive --dataset ca-grqc --method bm2 --ratios 0.8,0.5,0.2
+    repro-shed stats       --dataset ca-grqc [--input edgelist.txt]
+    repro-shed bench       --experiment tab8 [--full]
+    repro-shed datasets
+
+``reduce``/``evaluate``/``progressive``/``stats`` also accept
+``--input edgelist.txt`` to operate on a user-supplied graph instead of a
+registry surrogate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.uds import UDSSummarizer
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.core.base import EdgeShedder
+from repro.core.bm2 import BM2Shedder
+from repro.core.crr import CRRShedder
+from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.tasks import all_tasks
+
+__all__ = ["main", "build_parser"]
+
+_TASK_KEYS = {
+    "degree": "Vertex degree",
+    "sp": "SP distance",
+    "betweenness": "Betweenness centrality",
+    "clustering": "Clustering coefficient",
+    "hopplot": "Hop-plot",
+    "topk": "Top-k",
+    "linkpred": "Link prediction",
+    "connectivity": "Connectivity",
+    "community": "Community",
+}
+
+
+def _make_shedder(method: str, seed: int, sources: Optional[int]) -> EdgeShedder:
+    method = method.lower()
+    if method == "crr":
+        return CRRShedder(seed=seed, num_betweenness_sources=sources)
+    if method == "bm2":
+        return BM2Shedder(seed=seed)
+    if method == "uds":
+        return UDSSummarizer(seed=seed, num_betweenness_sources=sources)
+    if method == "random":
+        return RandomShedder(seed=seed)
+    if method == "degree-proportional":
+        return DegreeProportionalShedder(seed=seed)
+    raise SystemExit(f"unknown method {method!r} (crr, bm2, uds, random, degree-proportional)")
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.input:
+        return read_edge_list(args.input)
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-shed",
+        description="Selective edge shedding (ICDE 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="ca-grqc", choices=list(DATASETS))
+        p.add_argument("--input", help="edge-list file to use instead of a dataset")
+        p.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+        p.add_argument("--method", default="bm2")
+        p.add_argument("--p", type=float, default=0.5, help="edge preservation ratio")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--sources",
+            type=int,
+            default=None,
+            help="sampled betweenness sources for CRR/UDS (default: exact)",
+        )
+
+    reduce_parser = sub.add_parser("reduce", help="shed edges and report the result")
+    add_common(reduce_parser)
+    reduce_parser.add_argument("--output", help="write the reduced edge list here")
+    reduce_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run structural/bound validation on the result",
+    )
+
+    evaluate_parser = sub.add_parser("evaluate", help="reduce, then run evaluation tasks")
+    add_common(evaluate_parser)
+    evaluate_parser.add_argument(
+        "--tasks",
+        default="degree,topk",
+        help=f"comma-separated task keys: {','.join(_TASK_KEYS)}",
+    )
+
+    estimate_parser = sub.add_parser(
+        "estimate", help="reduce, then estimate original-graph statistics"
+    )
+    add_common(estimate_parser)
+
+    progressive_parser = sub.add_parser(
+        "progressive", help="nested reductions at several ratios"
+    )
+    add_common(progressive_parser)
+    progressive_parser.add_argument(
+        "--ratios",
+        default="0.8,0.5,0.2",
+        help="comma-separated, strictly decreasing ratios in (0, 1)",
+    )
+
+    stats_parser = sub.add_parser("stats", help="structural summary of a graph")
+    add_common(stats_parser)
+
+    bench_parser = sub.add_parser("bench", help="run a paper table/figure experiment")
+    bench_parser.add_argument(
+        "--experiment", required=True, choices=sorted(ALL_EXPERIMENTS)
+    )
+    bench_parser.add_argument("--full", action="store_true", help="full (slow) profile")
+    bench_parser.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+    return parser
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    shedder = _make_shedder(args.method, args.seed, args.sources)
+    result = shedder.reduce(graph, args.p)
+    print(result.summary())
+    if args.validate:
+        from repro.core.validation import validate_reduction
+
+        report = validate_reduction(result)
+        print(report.describe())
+        if not report.ok:
+            return 1
+    if args.output:
+        write_edge_list(result.reduced, args.output, header=f"{result.method} p={result.p}")
+        print(f"wrote reduced edge list to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    shedder = _make_shedder(args.method, args.seed, args.sources)
+    result = shedder.reduce(graph, args.p)
+    print(result.summary())
+
+    requested = [key.strip() for key in args.tasks.split(",") if key.strip()]
+    unknown = [key for key in requested if key not in _TASK_KEYS]
+    if unknown:
+        raise SystemExit(f"unknown task keys: {', '.join(unknown)}")
+    wanted_names = {_TASK_KEYS[key] for key in requested}
+    battery = [t for t in all_tasks(seed=args.seed, num_sources=args.sources) if t.name in wanted_names]
+    if "Connectivity" in wanted_names:
+        from repro.tasks.connectivity import ConnectivityTask
+
+        battery.append(ConnectivityTask())
+    if "Community" in wanted_names:
+        from repro.tasks.community import CommunityTask
+
+        battery.append(CommunityTask(seed=args.seed))
+    for task in battery:
+        evaluation = task.evaluate(graph, result)
+        print(
+            f"{task.name}: utility={evaluation.utility:.3f} "
+            f"(original {evaluation.original.elapsed_seconds:.3f}s, "
+            f"reduced {evaluation.reduced.elapsed_seconds:.3f}s)"
+        )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.analysis.estimation import estimation_report
+
+    graph = _load_graph(args)
+    shedder = _make_shedder(args.method, args.seed, args.sources)
+    result = shedder.reduce(graph, args.p)
+    print(result.summary())
+    report = estimation_report(graph, result.reduced, args.p)
+    rows = [
+        ("edges", report.true_num_edges, report.estimated_num_edges),
+        ("average degree", report.true_average_degree, report.estimated_average_degree),
+        ("triangles", report.true_triangles, report.estimated_triangles),
+        ("global clustering", report.true_global_clustering, report.estimated_global_clustering),
+    ]
+    errors = report.relative_errors()
+    keys = ["num_edges", "average_degree", "triangles", "global_clustering"]
+    for (label, true_value, estimate), key in zip(rows, keys):
+        print(
+            f"{label}: true={true_value:.4g} estimated={estimate:.4g}"
+            f" (relative error {errors[key]:.1%})"
+        )
+    return 0
+
+
+def _cmd_progressive(args: argparse.Namespace) -> int:
+    from repro.core.progressive import progressive_reduce
+
+    graph = _load_graph(args)
+    shedder = _make_shedder(args.method, args.seed, args.sources)
+    try:
+        ratios = [float(token) for token in args.ratios.split(",") if token.strip()]
+    except ValueError:
+        raise SystemExit(f"could not parse ratios {args.ratios!r}")
+    results = progressive_reduce(shedder, graph, ratios)
+    for result in results:
+        print(result.summary())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import graph_stats
+
+    graph = _load_graph(args)
+    print(graph_stats(graph, seed=args.seed).describe())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    runner = ALL_EXPERIMENTS[args.experiment]
+    report = runner(quick=not args.full, seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def _cmd_datasets() -> int:
+    for name, spec in DATASETS.items():
+        print(
+            f"{name}: {spec.description} — paper size {spec.paper_nodes} nodes /"
+            f" {spec.paper_edges} edges, default scale {spec.default_scale}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "reduce":
+        return _cmd_reduce(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "progressive":
+        return _cmd_progressive(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: degree-preserving edge shedding.
+
+Exports the two proposed algorithms (:class:`CRRShedder`,
+:class:`BM2Shedder`), the discrepancy bookkeeping they optimise, the
+theoretical bounds from Theorems 1-2, and structure-blind ablation shedders.
+"""
+
+from repro.core.base import EdgeShedder, ReductionResult, validate_ratio
+from repro.core.bm2 import BM2Shedder, bipartite_repair
+from repro.core.bounds import (
+    bm2_average_delta_bound,
+    bm2_bound_for_graph,
+    crr_average_delta_bound,
+    crr_bound_for_graph,
+)
+from repro.core.core_shed import CoreShedder
+from repro.core.crr import CRRShedder, IndexedEdgePool
+from repro.core.discrepancy import DegreeTracker, compute_delta, round_half_up
+from repro.core.local_shed import JaccardShedder, LocalDegreeShedder
+from repro.core.progressive import progressive_reduce
+from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
+from repro.core.validation import ValidationReport, validate_reduction
+
+__all__ = [
+    "EdgeShedder",
+    "ReductionResult",
+    "validate_ratio",
+    "CRRShedder",
+    "IndexedEdgePool",
+    "BM2Shedder",
+    "bipartite_repair",
+    "DegreeTracker",
+    "compute_delta",
+    "round_half_up",
+    "crr_average_delta_bound",
+    "bm2_average_delta_bound",
+    "crr_bound_for_graph",
+    "bm2_bound_for_graph",
+    "RandomShedder",
+    "DegreeProportionalShedder",
+    "CoreShedder",
+    "LocalDegreeShedder",
+    "JaccardShedder",
+    "progressive_reduce",
+    "validate_reduction",
+    "ValidationReport",
+]

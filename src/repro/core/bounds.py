@@ -1,0 +1,54 @@
+"""Theoretical error bounds (Theorems 1 and 2).
+
+Both theorems bound the *average* absolute degree discrepancy
+``Δ / |V|`` of the reduced graph:
+
+* **Theorem 1 (CRR)**: the average is in ``(0, 4p(1−p)·|E|/|V|)``.
+* **Theorem 2 (BM2)**: the average is in ``(0, 1/2 + (1−p)·|E|/|V|)``.
+
+Figure 5(a)-(b) plots the measured average Δ against these curves; the
+bench for that figure, and a hypothesis property test, assert that every
+run of the algorithms respects its bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import validate_ratio
+from repro.graph.graph import Graph
+
+__all__ = [
+    "crr_average_delta_bound",
+    "bm2_average_delta_bound",
+    "crr_bound_for_graph",
+    "bm2_bound_for_graph",
+]
+
+
+def crr_average_delta_bound(p: float, num_edges: int, num_nodes: int) -> float:
+    """Theorem 1 upper bound: ``4·p·(1−p)·|E| / |V|``."""
+    p = validate_ratio(p)
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if num_edges < 0:
+        raise ValueError(f"num_edges must be non-negative, got {num_edges}")
+    return 4.0 * p * (1.0 - p) * num_edges / num_nodes
+
+
+def bm2_average_delta_bound(p: float, num_edges: int, num_nodes: int) -> float:
+    """Theorem 2 upper bound: ``1/2 + (1−p)·|E| / |V|``."""
+    p = validate_ratio(p)
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if num_edges < 0:
+        raise ValueError(f"num_edges must be non-negative, got {num_edges}")
+    return 0.5 + (1.0 - p) * num_edges / num_nodes
+
+
+def crr_bound_for_graph(graph: Graph, p: float) -> float:
+    """Theorem 1 bound evaluated on a concrete graph."""
+    return crr_average_delta_bound(p, graph.num_edges, graph.num_nodes)
+
+
+def bm2_bound_for_graph(graph: Graph, p: float) -> float:
+    """Theorem 2 bound evaluated on a concrete graph."""
+    return bm2_average_delta_bound(p, graph.num_edges, graph.num_nodes)

@@ -1,0 +1,70 @@
+"""Ablation baselines: structure-blind edge shedding.
+
+These put CRR's and BM2's degree-preservation machinery in context:
+
+* :class:`RandomShedder` keeps ``[p·|E|]`` edges uniformly at random —
+  the naive resource-constrained reduction.  In expectation each node
+  keeps a ``p`` fraction of its edges, but the variance is what the
+  paper's methods remove.
+* :class:`DegreeProportionalShedder` biases the kept set toward edges
+  incident to low-degree nodes (weight ``1/(deg(u)+deg(v))``), protecting
+  nodes that would otherwise be disconnected — a natural heuristic the
+  ablation benches compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.base import EdgeShedder
+from repro.core.discrepancy import round_half_up
+from repro.graph.graph import Graph
+from repro.rng import RandomState, ensure_rng
+
+__all__ = ["RandomShedder", "DegreeProportionalShedder"]
+
+
+class RandomShedder(EdgeShedder):
+    """Keep ``[p·|E|]`` edges sampled uniformly without replacement."""
+
+    name = "Random"
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._seed = seed
+
+    def _reduce(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
+        rng = ensure_rng(self._seed)
+        edges = list(graph.edges())
+        target = min(round_half_up(p * len(edges)), len(edges))
+        picks = rng.choice(len(edges), size=target, replace=False)
+        reduced = graph.edge_subgraph(edges[i] for i in picks)
+        return reduced, {"target_edges": target}
+
+
+class DegreeProportionalShedder(EdgeShedder):
+    """Keep ``[p·|E|]`` edges, favouring edges between low-degree nodes.
+
+    Sampling without replacement with weights ``1/(deg(u)+deg(v))`` via the
+    Efraimidis–Spirakis exponential-key trick: draw ``u ~ Uniform(0,1)`` per
+    edge and keep the ``[P]`` largest ``u^(1/w)``.
+    """
+
+    name = "DegreeProportional"
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._seed = seed
+
+    def _reduce(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
+        rng = ensure_rng(self._seed)
+        edges = list(graph.edges())
+        target = min(round_half_up(p * len(edges)), len(edges))
+        weights = np.array(
+            [1.0 / (graph.degree(u) + graph.degree(v)) for u, v in edges],
+            dtype=np.float64,
+        )
+        keys = rng.random(len(edges)) ** (1.0 / weights)
+        order = np.argsort(-keys)
+        reduced = graph.edge_subgraph(edges[i] for i in order[:target])
+        return reduced, {"target_edges": target}

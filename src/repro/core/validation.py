@@ -1,0 +1,119 @@
+"""Post-hoc validation of reduction results.
+
+A downstream user adopting a reduced graph wants mechanical assurance
+before trusting it: the nodes are all there, no edge was invented, the
+size is near the requested budget, and Δ is consistent with the method's
+guarantee.  :func:`validate_reduction` runs those checks and returns a
+structured report instead of asserting, so it can drive both tests and
+user-facing tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.base import ReductionResult
+from repro.core.bounds import bm2_average_delta_bound, crr_average_delta_bound
+from repro.core.discrepancy import compute_delta
+
+__all__ = ["ValidationReport", "validate_reduction"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_reduction`."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = ["OK" if self.ok else "FAILED"]
+        lines += [f"failure: {message}" for message in self.failures]
+        lines += [f"warning: {message}" for message in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_reduction(
+    result: ReductionResult, budget_tolerance: float = 0.1
+) -> ValidationReport:
+    """Check the structural and quantitative contracts of a reduction.
+
+    Hard failures (``ok = False``):
+
+    * the reduced graph drops or invents nodes;
+    * a *shedding* result contains an edge absent from the original
+      (summary-based methods — detected by ``stats["summary"]`` — may
+      legitimately reconstruct spurious edges; those downgrade to a
+      warning);
+    * the recorded ``delta`` disagrees with a recomputation;
+    * a CRR/BM2 result violates its theorem bound.
+
+    Warnings (``ok`` unaffected):
+
+    * achieved edge ratio deviates from ``p`` by more than
+      ``budget_tolerance`` (legitimate for UDS and LocalDegree, whose
+      size is not budget-controlled — hence not a failure);
+    * spurious edges in a summary reconstruction.
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    original, reduced = result.original, result.reduced
+    is_summary_method = "summary" in result.stats
+
+    if set(reduced.nodes()) != set(original.nodes()):
+        missing = len(set(original.nodes()) - set(reduced.nodes()))
+        extra = len(set(reduced.nodes()) - set(original.nodes()))
+        failures.append(
+            f"node set mismatch: {missing} original nodes missing,"
+            f" {extra} foreign nodes present"
+        )
+
+    invented = [
+        (u, v) for u, v in reduced.edges() if not original.has_edge(u, v)
+    ]
+    if invented:
+        message = (
+            f"{len(invented)} reduced edges are not in the original graph"
+            f" (e.g. {invented[0]!r})"
+        )
+        if is_summary_method:
+            warnings.append(f"{message} — spurious superedge expansion")
+        else:
+            failures.append(message)
+
+    recomputed = compute_delta(original, reduced, result.p)
+    if abs(recomputed - result.delta) > 1e-6:
+        failures.append(
+            f"recorded delta {result.delta:.6f} disagrees with recomputed"
+            f" {recomputed:.6f}"
+        )
+
+    if abs(result.achieved_ratio - result.p) > budget_tolerance:
+        warnings.append(
+            f"achieved ratio {result.achieved_ratio:.3f} deviates from"
+            f" p={result.p:g} by more than {budget_tolerance:g}"
+        )
+
+    if not failures:  # bounds only make sense for a structurally-valid result
+        average = result.average_delta
+        if result.method.startswith("CRR"):
+            bound = crr_average_delta_bound(
+                result.p, original.num_edges, original.num_nodes
+            )
+            # the fixed integer edge count forces up to 1/|V| rounding slack
+            if average > bound + 1.0 / original.num_nodes:
+                failures.append(
+                    f"CRR average delta {average:.4f} violates Theorem 1 bound {bound:.4f}"
+                )
+        elif result.method.startswith("BM2"):
+            bound = bm2_average_delta_bound(
+                result.p, original.num_edges, original.num_nodes
+            )
+            if average > bound + 1e-9:
+                failures.append(
+                    f"BM2 average delta {average:.4f} violates Theorem 2 bound {bound:.4f}"
+                )
+
+    return ValidationReport(ok=not failures, failures=failures, warnings=warnings)

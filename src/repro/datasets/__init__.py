@@ -1,0 +1,18 @@
+"""Dataset surrogates for the paper's four SNAP networks."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.synthetic import SurrogateSpec, build_surrogate
+
+__all__ = [
+    "DATASETS",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "SurrogateSpec",
+    "build_surrogate",
+]

@@ -1,0 +1,19 @@
+"""Node-embedding substrate: node2vec walks, SGNS training, and k-means.
+
+Everything the link-prediction evaluation task needs, implemented in plain
+numpy (no external ML dependencies).
+"""
+
+from repro.embedding.kmeans import KMeansResult, kmeans
+from repro.embedding.node2vec import Node2VecModel, node2vec_embed
+from repro.embedding.skipgram import train_skipgram
+from repro.embedding.walks import generate_walks
+
+__all__ = [
+    "generate_walks",
+    "train_skipgram",
+    "node2vec_embed",
+    "Node2VecModel",
+    "kmeans",
+    "KMeansResult",
+]

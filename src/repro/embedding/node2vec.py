@@ -1,0 +1,73 @@
+"""High-level Node2Vec model: walks -> skip-gram -> per-label embeddings.
+
+Wires :func:`repro.embedding.walks.generate_walks` and
+:func:`repro.embedding.skipgram.train_skipgram` behind one call, keeping
+the label <-> integer-id mapping consistent with the graph's CSR order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.embedding.skipgram import train_skipgram
+from repro.embedding.walks import generate_walks
+from repro.graph.csr import CSRAdjacency
+from repro.graph.graph import Graph, Node
+from repro.rng import RandomState, ensure_rng
+
+__all__ = ["Node2VecModel", "node2vec_embed"]
+
+
+@dataclass(frozen=True)
+class Node2VecModel:
+    """Trained embeddings plus the label mapping used to index them."""
+
+    embeddings: np.ndarray
+    labels: List[Node]
+    index_of: Dict[Node, int]
+
+    def vector(self, node: Node) -> np.ndarray:
+        """Embedding vector for an original node label."""
+        return self.embeddings[self.index_of[node]]
+
+
+def node2vec_embed(
+    graph: Graph,
+    dimensions: int = 32,
+    num_walks: int = 10,
+    walk_length: int = 40,
+    window: int = 5,
+    negatives: int = 5,
+    epochs: int = 2,
+    p: float = 1.0,
+    q: float = 1.0,
+    seed: RandomState = None,
+) -> Node2VecModel:
+    """Train node2vec embeddings for every node in ``graph``.
+
+    Defaults follow the paper's link-prediction setup (``p = q = 1``);
+    the remaining hyperparameters are scaled for laptop-class runs.
+    """
+    rng = ensure_rng(seed)
+    csr = CSRAdjacency.from_graph(graph)
+    walks = generate_walks(
+        graph,
+        num_walks=num_walks,
+        walk_length=walk_length,
+        p=p,
+        q=q,
+        seed=rng,
+    )
+    embeddings = train_skipgram(
+        walks,
+        num_nodes=csr.num_nodes,
+        dimensions=dimensions,
+        window=window,
+        negatives=negatives,
+        epochs=epochs,
+        seed=rng,
+    )
+    return Node2VecModel(embeddings=embeddings, labels=csr.labels, index_of=csr.index_of)

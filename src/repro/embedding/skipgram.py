@@ -1,0 +1,96 @@
+"""Skip-gram with negative sampling (SGNS), pure numpy.
+
+Trains node embeddings from random-walk corpora: every (center, context)
+pair inside a sliding window is a positive example; negatives are drawn
+from the unigram^0.75 distribution (the word2vec convention).  Gradient
+updates are the standard SGNS ones, applied per center with all its
+positives/negatives vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.rng import RandomState, ensure_rng
+
+__all__ = ["train_skipgram"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; gradients saturate there anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def train_skipgram(
+    walks: Sequence[Sequence[int]],
+    num_nodes: int,
+    dimensions: int = 32,
+    window: int = 5,
+    negatives: int = 5,
+    epochs: int = 2,
+    learning_rate: float = 0.025,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Train SGNS embeddings; returns ``float64[num_nodes, dimensions]``.
+
+    Nodes that never appear in ``walks`` keep their small random
+    initialisation (they carry no signal either way).
+    """
+    if num_nodes < 1:
+        raise EmbeddingError(f"num_nodes must be >= 1, got {num_nodes}")
+    if dimensions < 1:
+        raise EmbeddingError(f"dimensions must be >= 1, got {dimensions}")
+    if window < 1:
+        raise EmbeddingError(f"window must be >= 1, got {window}")
+    if negatives < 0:
+        raise EmbeddingError(f"negatives must be >= 0, got {negatives}")
+    if not walks:
+        raise EmbeddingError("cannot train on an empty walk corpus")
+
+    rng = ensure_rng(seed)
+    embeddings = (rng.random((num_nodes, dimensions)) - 0.5) / dimensions
+    context = np.zeros((num_nodes, dimensions), dtype=np.float64)
+
+    # Unigram^0.75 negative-sampling table.
+    frequency = np.zeros(num_nodes, dtype=np.float64)
+    for walk in walks:
+        for node in walk:
+            if not 0 <= node < num_nodes:
+                raise EmbeddingError(f"walk contains out-of-range node id {node}")
+            frequency[node] += 1.0
+    noise = frequency**0.75
+    noise_total = noise.sum()
+    if noise_total == 0:
+        raise EmbeddingError("walk corpus is empty of nodes")
+    noise /= noise_total
+
+    for epoch in range(epochs):
+        rate = learning_rate * (1.0 - epoch / max(epochs, 1)) + 1e-4
+        for walk in walks:
+            length = len(walk)
+            for position, center in enumerate(walk):
+                lo = max(0, position - window)
+                hi = min(length, position + window + 1)
+                positives = [walk[i] for i in range(lo, hi) if i != position]
+                if not positives:
+                    continue
+                positive_ids = np.asarray(positives, dtype=np.int64)
+                negative_ids = rng.choice(
+                    num_nodes, size=negatives * len(positives), p=noise
+                )
+                targets = np.concatenate([positive_ids, negative_ids])
+                labels = np.zeros(targets.size, dtype=np.float64)
+                labels[: positive_ids.size] = 1.0
+
+                center_vector = embeddings[center]
+                target_vectors = context[targets]
+                scores = _sigmoid(target_vectors @ center_vector)
+                gradient = (labels - scores) * rate  # shape (targets,)
+                center_update = gradient @ target_vectors
+                # Accumulate context updates; np.add.at handles repeats.
+                np.add.at(context, targets, gradient[:, None] * center_vector[None, :])
+                embeddings[center] += center_update
+    return embeddings

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  More specific
+subclasses exist for the major subsystems (graph substrate, reduction
+algorithms, datasets, benchmarks) so that tests and downstream users can
+assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "SelfLoopError",
+    "ReductionError",
+    "InvalidRatioError",
+    "DatasetError",
+    "EmbeddingError",
+    "TaskError",
+    "BenchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph or a graph operation."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """An operation referenced a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An operation referenced an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self-loops are not allowed in the simple undirected graphs we model."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self-loop on node {node!r} is not allowed")
+        self.node = node
+
+
+class ReductionError(ReproError):
+    """An edge-shedding / summarization algorithm could not proceed."""
+
+
+class InvalidRatioError(ReductionError, ValueError):
+    """The edge preservation ratio ``p`` was outside the open interval (0, 1)."""
+
+    def __init__(self, p: float) -> None:
+        super().__init__(f"edge preservation ratio must be in (0, 1), got {p!r}")
+        self.p = p
+
+
+class DatasetError(ReproError):
+    """A dataset could not be constructed or located."""
+
+
+class EmbeddingError(ReproError):
+    """Node embedding training failed or received invalid input."""
+
+
+class TaskError(ReproError):
+    """An evaluation task failed or received incompatible graphs."""
+
+
+class BenchError(ReproError):
+    """A benchmark experiment was misconfigured."""

@@ -1,0 +1,83 @@
+"""Convenience constructors for :class:`repro.graph.Graph`.
+
+These keep algorithm code and tests free of repetitive edge-list plumbing,
+and give the dataset layer a single place that validates raw input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Edge, Graph, Node
+
+__all__ = [
+    "from_edges",
+    "from_adjacency",
+    "from_degree_sequence_havel_hakimi",
+    "relabel_to_integers",
+]
+
+
+def from_edges(edges: Iterable[Edge], nodes: Iterable[Node] = ()) -> Graph:
+    """Build a graph from an edge iterable (duplicates are collapsed)."""
+    return Graph(edges=edges, nodes=nodes)
+
+
+def from_adjacency(adjacency: Mapping[Node, Iterable[Node]]) -> Graph:
+    """Build a graph from a node -> neighbours mapping.
+
+    The mapping may list each edge from one side or both; both spellings
+    produce the same simple graph.
+    """
+    graph = Graph()
+    for node in adjacency:
+        graph.add_node(node)
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            graph.add_edge(node, neighbor)
+    return graph
+
+
+def from_degree_sequence_havel_hakimi(degrees: Sequence[int]) -> Graph:
+    """Construct a simple graph realising ``degrees`` via Havel–Hakimi.
+
+    Nodes are labelled ``0 .. len(degrees)-1``.  Raises :class:`GraphError`
+    if the sequence is not graphical.  Used by tests and by the synthetic
+    dataset layer to build graphs with exactly prescribed degrees.
+    """
+    remaining = [(int(d), node) for node, d in enumerate(degrees)]
+    if any(d < 0 for d, _ in remaining):
+        raise GraphError("degree sequence contains a negative degree")
+    if sum(d for d, _ in remaining) % 2 != 0:
+        raise GraphError("degree sequence has odd sum; not graphical")
+
+    graph = Graph(nodes=range(len(degrees)))
+    # Repeatedly connect the highest-degree node to the next-highest ones.
+    while True:
+        remaining.sort(reverse=True)
+        d, node = remaining[0]
+        if d == 0:
+            return graph
+        if d > len(remaining) - 1:
+            raise GraphError("degree sequence is not graphical")
+        remaining[0] = (0, node)
+        for i in range(1, d + 1):
+            di, vi = remaining[i]
+            if di == 0:
+                raise GraphError("degree sequence is not graphical")
+            graph.add_edge(node, vi)
+            remaining[i] = (di - 1, vi)
+
+
+def relabel_to_integers(graph: Graph) -> tuple[Graph, Dict[Node, int]]:
+    """Return a copy of ``graph`` with nodes relabelled ``0..n-1``.
+
+    The second return value maps original labels to new integer ids.
+    Insertion order is preserved so the relabelling is deterministic.
+    """
+    mapping = {node: index for index, node in enumerate(graph.nodes())}
+    relabeled = Graph(nodes=range(graph.num_nodes))
+    for u, v in graph.edges():
+        relabeled.add_edge(mapping[u], mapping[v])
+    return relabeled, mapping

@@ -1,0 +1,167 @@
+"""Betweenness centrality (Brandes' algorithm) for nodes and edges.
+
+CRR's first phase ranks every edge by betweenness centrality, and evaluation
+task 3 compares node betweenness between original and reduced graphs.  We
+implement Brandes' single-pass accumulation [Brandes 2001] for unweighted
+graphs: one BFS per source with shortest-path counting, then a reverse-order
+dependency sweep.  Complexity O(|V||E|) time, O(|V|+|E|) space — matching the
+figures the paper quotes.
+
+For graphs where exact betweenness is too slow (the resource-constraints
+story), the ``num_sources`` argument switches to source sampling: run the
+accumulation from ``k`` uniformly sampled sources and scale by ``n/k``, an
+unbiased estimator of the exact value.
+
+Normalisation follows networkx conventions so our tests can cross-validate:
+unnormalised undirected scores are halved (each unordered pair contributes
+once); normalised node scores divide by ``(n-1)(n-2)/2``, edge scores by
+``n(n-1)/2``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Edge, Graph, Node
+from repro.rng import RandomState, ensure_rng
+
+__all__ = [
+    "node_betweenness",
+    "edge_betweenness",
+    "top_edges_by_betweenness",
+]
+
+
+def _adjacency_lists(graph: Graph) -> Dict[Node, List[Node]]:
+    """Materialise neighbour lists once; list iteration is ~2x faster than
+    set iteration in the accumulation loop, which runs |V| times."""
+    return {node: list(graph.neighbors(node)) for node in graph.nodes()}
+
+
+def _brandes_sssp(
+    adjacency: Dict[Node, List[Node]], source: Node
+) -> Tuple[List[Node], Dict[Node, List[Node]], Dict[Node, float]]:
+    """Brandes BFS stage: returns (stack, predecessors, path counts)."""
+    stack: List[Node] = []
+    predecessors: Dict[Node, List[Node]] = {node: [] for node in adjacency}
+    sigma: Dict[Node, float] = dict.fromkeys(adjacency, 0.0)
+    sigma[source] = 1.0
+    distance: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        stack.append(node)
+        node_distance = distance[node]
+        sigma_node = sigma[node]
+        for neighbor in adjacency[node]:
+            neighbor_distance = distance.get(neighbor)
+            if neighbor_distance is None:
+                distance[neighbor] = node_distance + 1
+                queue.append(neighbor)
+                sigma[neighbor] += sigma_node
+                predecessors[neighbor].append(node)
+            elif neighbor_distance == node_distance + 1:
+                sigma[neighbor] += sigma_node
+                predecessors[neighbor].append(node)
+    return stack, predecessors, sigma
+
+
+def _select_sources(graph: Graph, num_sources: Optional[int], seed: RandomState) -> Tuple[List[Node], float]:
+    """Pick accumulation sources; return (sources, scale factor)."""
+    nodes = list(graph.nodes())
+    if num_sources is None or num_sources >= len(nodes):
+        return nodes, 1.0
+    if num_sources <= 0:
+        raise ValueError(f"num_sources must be positive, got {num_sources}")
+    rng = ensure_rng(seed)
+    picks = rng.choice(len(nodes), size=num_sources, replace=False)
+    return [nodes[i] for i in picks], len(nodes) / num_sources
+
+
+def node_betweenness(
+    graph: Graph,
+    normalized: bool = True,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+) -> Dict[Node, float]:
+    """Betweenness centrality of every node.
+
+    ``num_sources`` enables the sampled estimator; ``None`` is exact.
+    """
+    centrality: Dict[Node, float] = dict.fromkeys(graph.nodes(), 0.0)
+    sources, scale = _select_sources(graph, num_sources, seed)
+    adjacency = _adjacency_lists(graph)
+    for source in sources:
+        stack, predecessors, sigma = _brandes_sssp(adjacency, source)
+        delta: Dict[Node, float] = dict.fromkeys(stack, 0.0)
+        while stack:
+            node = stack.pop()
+            coefficient = (1.0 + delta[node]) / sigma[node]
+            for predecessor in predecessors[node]:
+                delta[predecessor] += sigma[predecessor] * coefficient
+            if node != source:
+                centrality[node] += delta[node]
+        # ``delta`` only covers reachable nodes; unreachable ones add 0.
+    n = graph.num_nodes
+    if normalized:
+        denominator = (n - 1) * (n - 2) if n > 2 else 1.0
+    else:
+        denominator = 2.0  # each unordered pair was visited from both ends
+    factor = scale / denominator
+    return {node: value * factor for node, value in centrality.items()}
+
+
+def edge_betweenness(
+    graph: Graph,
+    normalized: bool = True,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+) -> Dict[Edge, float]:
+    """Betweenness centrality of every edge (canonical orientation keys).
+
+    This is the ranking signal for CRR phase 1.  ``num_sources`` enables the
+    sampled estimator for resource-constrained runs; ``None`` is exact.
+    """
+    centrality: Dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
+    sources, scale = _select_sources(graph, num_sources, seed)
+    adjacency = _adjacency_lists(graph)
+    for source in sources:
+        stack, predecessors, sigma = _brandes_sssp(adjacency, source)
+        delta: Dict[Node, float] = dict.fromkeys(stack, 0.0)
+        while stack:
+            node = stack.pop()
+            coefficient = (1.0 + delta[node]) / sigma[node]
+            for predecessor in predecessors[node]:
+                contribution = sigma[predecessor] * coefficient
+                centrality[graph.canonical_edge(predecessor, node)] += contribution
+                delta[predecessor] += contribution
+    n = graph.num_nodes
+    if normalized:
+        denominator = n * (n - 1) if n > 1 else 1.0
+    else:
+        denominator = 2.0
+    factor = scale / denominator
+    return {edge: value * factor for edge, value in centrality.items()}
+
+
+def top_edges_by_betweenness(
+    graph: Graph,
+    count: int,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+    tie_seed: RandomState = None,
+) -> List[Edge]:
+    """The ``count`` edges of highest betweenness, ties broken randomly.
+
+    The paper specifies that "edges of the same importance are selected
+    randomly"; a seeded shuffle before the stable sort realises exactly that.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    scores = edge_betweenness(graph, normalized=False, num_sources=num_sources, seed=seed)
+    edges = list(scores)
+    rng = ensure_rng(tie_seed)
+    rng.shuffle(edges)
+    edges.sort(key=lambda edge: scores[edge], reverse=True)
+    return edges[:count]

@@ -1,0 +1,128 @@
+"""Community detection (label propagation) and partition comparison.
+
+Gives the library a self-contained community pipeline: asynchronous label
+propagation [Raghavan et al. 2007] for detection, plus normalised mutual
+information (NMI) to compare the partitions found on an original graph
+and on its reduction — the extension task
+:class:`repro.tasks.community.CommunityTask` is built on these.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Mapping
+
+from repro.graph.graph import Graph, Node
+from repro.rng import RandomState, ensure_rng
+
+__all__ = [
+    "label_propagation",
+    "partition_sizes",
+    "modularity",
+    "normalized_mutual_information",
+]
+
+
+def label_propagation(
+    graph: Graph, max_iterations: int = 100, seed: RandomState = None
+) -> Dict[Node, int]:
+    """Asynchronous label propagation; returns node -> community id.
+
+    Each node starts in its own community; in random order, every node
+    adopts the most frequent label among its neighbours (ties broken
+    randomly).  Converges when no node changes in a full sweep.  Isolated
+    nodes keep their own singleton label.  Community ids are re-numbered
+    densely (0..k-1) in first-appearance order for determinism.
+    """
+    rng = ensure_rng(seed)
+    labels: Dict[Node, int] = {node: i for i, node in enumerate(graph.nodes())}
+    nodes = list(graph.nodes())
+    for _ in range(max_iterations):
+        rng.shuffle(nodes)
+        changed = 0
+        for node in nodes:
+            neighbor_labels = Counter(labels[neighbor] for neighbor in graph.neighbors(node))
+            if not neighbor_labels:
+                continue
+            best_count = max(neighbor_labels.values())
+            best = [label for label, count in neighbor_labels.items() if count == best_count]
+            choice = best[int(rng.integers(len(best)))] if len(best) > 1 else best[0]
+            if labels[node] != choice:
+                labels[node] = choice
+                changed += 1
+        if changed == 0:
+            break
+    # Dense re-numbering in node insertion order.
+    remap: Dict[int, int] = {}
+    renumbered: Dict[Node, int] = {}
+    for node in graph.nodes():
+        label = labels[node]
+        if label not in remap:
+            remap[label] = len(remap)
+        renumbered[node] = remap[label]
+    return renumbered
+
+
+def partition_sizes(labels: Mapping[Node, int]) -> Dict[int, int]:
+    """Community id -> member count."""
+    sizes: Counter = Counter(labels.values())
+    return dict(sizes)
+
+
+def modularity(graph: Graph, labels: Mapping[Node, int]) -> float:
+    """Newman modularity of a partition (0.0 for an edgeless graph)."""
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    internal: Counter = Counter()
+    degree_sums: Counter = Counter()
+    for node in graph.nodes():
+        degree_sums[labels[node]] += graph.degree(node)
+    for u, v in graph.edges():
+        if labels[u] == labels[v]:
+            internal[labels[u]] += 1
+    score = 0.0
+    for community, degree_sum in degree_sums.items():
+        score += internal.get(community, 0) / m - (degree_sum / (2.0 * m)) ** 2
+    return score
+
+
+def normalized_mutual_information(
+    labels_a: Mapping[Hashable, int], labels_b: Mapping[Hashable, int]
+) -> float:
+    """NMI between two partitions of the same element set, in [0, 1].
+
+    Uses arithmetic-mean normalisation ``2·I / (H_a + H_b)``.  Returns 1.0
+    when both partitions are trivial in the same way (both single-cluster
+    or both all-singletons over identical elements); raises ``ValueError``
+    when the element sets differ.
+    """
+    if labels_a.keys() != labels_b.keys():
+        raise ValueError("partitions must cover the same element set")
+    n = len(labels_a)
+    if n == 0:
+        return 1.0
+
+    joint: Counter = Counter()
+    count_a: Counter = Counter()
+    count_b: Counter = Counter()
+    for element, a in labels_a.items():
+        b = labels_b[element]
+        joint[(a, b)] += 1
+        count_a[a] += 1
+        count_b[b] += 1
+
+    def entropy(counts: Counter) -> float:
+        return -sum((c / n) * math.log(c / n) for c in counts.values() if c)
+
+    h_a = entropy(count_a)
+    h_b = entropy(count_b)
+    if h_a == 0.0 and h_b == 0.0:
+        # both trivial: identical iff the (single) clusterings agree, which
+        # they do by construction over the same elements
+        return 1.0
+    mutual = 0.0
+    for (a, b), c in joint.items():
+        mutual += (c / n) * math.log(c * n / (count_a[a] * count_b[b]))
+    return max(0.0, min(1.0, 2.0 * mutual / (h_a + h_b)))

@@ -1,0 +1,73 @@
+"""Compressed-sparse-row adjacency export.
+
+The numpy-heavy kernels (PageRank power iteration, embedding training,
+sampled BFS sweeps) want a flat integer adjacency instead of Python sets.
+:class:`CSRAdjacency` is an immutable snapshot of a :class:`Graph`: node
+labels are frozen into positions ``0..n-1`` (insertion order) and neighbour
+lists are concatenated into one array with an offsets index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.graph import Graph, Node
+
+__all__ = ["CSRAdjacency"]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Immutable CSR view of an undirected graph.
+
+    Attributes:
+        indptr: ``int64[n+1]`` — neighbour slice boundaries per node.
+        indices: ``int64[2m]`` — concatenated neighbour ids.
+        labels: original node label for each integer id.
+        index_of: original node label -> integer id.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    labels: List[Node]
+    index_of: Dict[Node, int]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRAdjacency":
+        labels = list(graph.nodes())
+        index_of = {node: i for i, node in enumerate(labels)}
+        n = len(labels)
+        degrees = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(labels):
+            degrees[i + 1] = graph.degree(node)
+        indptr = np.cumsum(degrees)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for i, node in enumerate(labels):
+            for neighbor in graph.neighbors(node):
+                indices[cursor[i]] = index_of[neighbor]
+                cursor[i] += 1
+        # Sort each neighbour slice so the CSR form is canonical.
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            indices[lo:hi].sort()
+        return cls(indptr=indptr, indices=indices, labels=labels, index_of=index_of)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0]) // 2
+
+    def neighbors(self, node_id: int) -> np.ndarray:
+        """Neighbour ids of integer node ``node_id`` (a read-only view)."""
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
+
+    def degree_array(self) -> np.ndarray:
+        """``int64[n]`` of node degrees in id order."""
+        return np.diff(self.indptr)

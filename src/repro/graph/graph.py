@@ -1,0 +1,262 @@
+"""The core undirected simple-graph data structure.
+
+The paper's algorithms operate on undirected simple graphs (no self-loops,
+no parallel edges).  :class:`Graph` stores an adjacency-set per node, which
+gives O(1) expected-time edge insertion, deletion, and membership tests —
+exactly the operations CRR's rewiring loop and BM2's matching passes hammer.
+
+Nodes may be arbitrary hashable labels (SNAP-style integer ids, strings, ...).
+Insertion order is preserved, which makes every iteration order — and hence
+every seeded experiment — deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
+
+__all__ = ["Graph", "Node", "Edge"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    True
+    >>> g.add_edge(2, 3)
+    True
+    >>> g.degree(2)
+    2
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    """
+
+    __slots__ = ("_adj", "_order", "_num_edges", "_next_order")
+
+    def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()) -> None:
+        #: node -> set of neighbouring nodes
+        self._adj: Dict[Node, Set[Node]] = {}
+        #: node -> insertion index, used for canonical edge orientation.
+        #: Indices come from a monotonic counter (never reused), so nodes
+        #: added after removals cannot collide with surviving nodes.
+        self._order: Dict[Node, int] = {}
+        self._next_order = 0
+        self._num_edges = 0
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> bool:
+        """Add ``node``; return ``True`` if it was not already present."""
+        if node in self._adj:
+            return False
+        self._adj[node] = set()
+        self._order[node] = self._next_order
+        self._next_order += 1
+        return True
+
+    def add_edge(self, u: Node, v: Node) -> bool:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed.
+
+        Returns ``True`` if the edge is new, ``False`` if it already existed.
+        Raises :class:`SelfLoopError` for ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``(u, v)``; raise :class:`EdgeNotFoundError` if absent."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def discard_edge(self, u: Node, v: Node) -> bool:
+        """Remove edge ``(u, v)`` if present; return whether it was removed."""
+        if not self.has_edge(u, v):
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        self._num_edges -= len(self._adj[node])
+        del self._adj[node]
+        del self._order[node]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return self._num_edges
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        neighbors = self._adj.get(u)
+        return neighbors is not None and v in neighbors
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node``; raise :class:`NodeNotFoundError` if absent."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over the neighbours of ``node``."""
+        try:
+            neighbors = self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return iter(neighbors)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once in canonical orientation.
+
+        The canonical orientation puts the earlier-inserted endpoint first,
+        so the same graph always yields the same edge tuples regardless of
+        how the edges were originally spelled.
+        """
+        order = self._order
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if order[u] < order[v]:
+                    yield (u, v)
+
+    def canonical_edge(self, u: Node, v: Node) -> Edge:
+        """Return ``(u, v)`` oriented with the earlier-inserted node first."""
+        if u not in self._order:
+            raise NodeNotFoundError(u)
+        if v not in self._order:
+            raise NodeNotFoundError(v)
+        if self._order[u] <= self._order[v]:
+            return (u, v)
+        return (v, u)
+
+    def degrees(self) -> Dict[Node, int]:
+        """Return a node -> degree mapping (insertion order)."""
+        return {node: len(neighbors) for node, neighbors in self._adj.items()}
+
+    def average_degree(self) -> float:
+        """Mean degree ``2|E| / |V|`` (0.0 for the empty graph)."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def density(self) -> float:
+        """Edge density ``2|E| / (|V| (|V|-1))`` (0.0 for < 2 nodes)."""
+        n = len(self._adj)
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy (labels are shared, sets are new)."""
+        clone = Graph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._order = dict(self._order)
+        clone._next_order = self._next_order
+        clone._num_edges = self._num_edges
+        return clone
+
+    def edge_subgraph(self, edges: Iterable[Edge], keep_all_nodes: bool = True) -> "Graph":
+        """Build the subgraph containing exactly ``edges``.
+
+        The reduced graphs the paper studies keep the full node set ``V' = V``
+        (isolated nodes are part of the degree distribution), which is the
+        default.  Pass ``keep_all_nodes=False`` to keep only edge endpoints.
+
+        Raises :class:`EdgeNotFoundError` if an edge is not in this graph,
+        so a "reduced graph" can never silently invent edges.
+        """
+        sub = Graph()
+        if keep_all_nodes:
+            for node in self._adj:
+                sub.add_node(node)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise EdgeNotFoundError(u, v)
+            sub.add_edge(u, v)
+        return sub
+
+    def node_subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        missing = keep - self._adj.keys()
+        if missing:
+            raise NodeNotFoundError(next(iter(missing)))
+        sub = Graph()
+        for node in self._adj:
+            if node in keep:
+                sub.add_node(node)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same node set and same edge set."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._adj.keys() != other._adj.keys():
+            return False
+        return all(self._adj[node] == other._adj[node] for node in self._adj)
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,91 @@
+"""Graph serialisation: SNAP-style edge lists and JSON.
+
+The paper's datasets ship as whitespace-separated edge lists with ``#``
+comment headers (the SNAP convention); we read and write that format so a
+user who *does* have the original files can drop them straight in.  JSON
+round-trips preserve isolated nodes, which edge lists cannot express.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_json",
+    "write_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a SNAP-style edge list (``# comments``, one edge per line).
+
+    Node tokens that look like integers become ``int`` nodes; anything else
+    stays a string.  Files that list each edge in both directions (SNAP
+    ships several such files) are handled transparently — duplicate edges
+    collapse.  Self-loop lines are skipped; SNAP data contains a few and
+    the paper's model is a simple graph.
+    """
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected two node tokens, got {line!r}")
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+    return graph
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write the canonical edge list, optionally with a ``#`` header line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {header}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write ``{"nodes": [...], "edges": [[u, v], ...]}`` — keeps isolates."""
+    payload = {
+        "nodes": list(graph.nodes()),
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise GraphError(f"{path}: not a repro graph JSON file")
+    graph = Graph(nodes=payload["nodes"])
+    for edge in payload["edges"]:
+        if len(edge) != 2:
+            raise GraphError(f"{path}: malformed edge entry {edge!r}")
+        graph.add_edge(edge[0], edge[1])
+    return graph

@@ -1,0 +1,103 @@
+"""Breadth-first traversal and connectivity primitives.
+
+These are the workhorses underneath shortest-path distributions, hop-plots,
+and the connectivity checks the benchmarks use to compare how well each
+shedding method preserves the topology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import Graph, Node
+
+__all__ = [
+    "bfs_distances",
+    "bfs_layers",
+    "bfs_order",
+    "connected_components",
+    "largest_component",
+    "num_connected_components",
+    "is_connected",
+]
+
+
+def bfs_distances(graph: Graph, source: Node, cutoff: Optional[int] = None) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    ``cutoff`` limits the search depth (inclusive); useful for the 2-hop
+    neighbourhood enumeration in link prediction and for bounded hop-plots.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if cutoff is not None and depth >= cutoff:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_layers(graph: Graph, source: Node) -> Iterator[List[Node]]:
+    """Yield BFS layers (lists of nodes) outward from ``source``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    visited: Set[Node] = {source}
+    layer = [source]
+    while layer:
+        yield layer
+        next_layer: List[Node] = []
+        for node in layer:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_layer.append(neighbor)
+        layer = next_layer
+
+
+def bfs_order(graph: Graph, source: Node) -> List[Node]:
+    """Nodes in BFS visitation order from ``source``."""
+    order: List[Node] = []
+    for layer in bfs_layers(graph, source):
+        order.extend(layer)
+    return order
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """All connected components, largest-first."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_distances(graph, node))
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: Graph) -> Set[Node]:
+    """The node set of the largest connected component (empty for empty graph)."""
+    components = connected_components(graph)
+    return components[0] if components else set()
+
+
+def num_connected_components(graph: Graph) -> int:
+    return len(connected_components(graph))
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when every node is reachable from every other (empty graph: True)."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_distances(graph, first)) == graph.num_nodes

@@ -1,0 +1,17 @@
+"""Streaming / external-memory edge shedding (O(|V|)-memory reductions)."""
+
+from repro.streaming.files import (
+    StreamSheddingStats,
+    iter_edge_list,
+    shed_edge_list_file,
+)
+from repro.streaming.shedder import count_stream_degrees, reservoir_shed, shed_stream
+
+__all__ = [
+    "count_stream_degrees",
+    "shed_stream",
+    "reservoir_shed",
+    "iter_edge_list",
+    "shed_edge_list_file",
+    "StreamSheddingStats",
+]

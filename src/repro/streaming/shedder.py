@@ -1,0 +1,102 @@
+"""External-memory edge shedding over edge streams.
+
+The paper motivates reduction under *resource constraints*; the tightest
+constraint is not being able to hold the edge set in memory at all.  This
+module sheds an edge **stream** in two passes with ``O(|V|)`` memory:
+
+* pass 1 counts node degrees;
+* pass 2 computes capacities ``b(u) = round(p·deg(u))`` and keeps an edge
+  iff both endpoints still have spare capacity — exactly BM2's Phase 1
+  (greedy maximal b-matching), whose degree guarantee (Theorem 2's
+  building block) therefore carries over.  Phase 2's bipartite repair
+  needs the rejected edges in memory, so the streaming variant trades a
+  little Δ for bounded memory — measured in the streaming tests.
+
+A single-pass uniform :func:`reservoir_shed` is included as the baseline
+(it is the streaming analogue of :class:`~repro.core.RandomShedder`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List
+
+from repro.core.base import validate_ratio
+from repro.core.discrepancy import round_half_up
+from repro.errors import ReductionError
+from repro.graph.graph import Edge, Node
+from repro.rng import RandomState, ensure_rng
+
+__all__ = ["count_stream_degrees", "shed_stream", "reservoir_shed"]
+
+EdgeStreamFactory = Callable[[], Iterable[Edge]]
+
+
+def count_stream_degrees(edges: Iterable[Edge]) -> Dict[Node, int]:
+    """Pass 1: node degrees of a simple-graph edge stream.
+
+    Raises :class:`ReductionError` on self-loops or duplicate edges —
+    the stream must describe a simple graph for the capacities to mean
+    anything.
+    """
+    degrees: Dict[Node, int] = {}
+    seen: set = set()
+    for u, v in edges:
+        if u == v:
+            raise ReductionError(f"self-loop ({u!r}, {v!r}) in edge stream")
+        key = frozenset((u, v))
+        if key in seen:
+            raise ReductionError(f"duplicate edge ({u!r}, {v!r}) in edge stream")
+        seen.add(key)
+        degrees[u] = degrees.get(u, 0) + 1
+        degrees[v] = degrees.get(v, 0) + 1
+    return degrees
+
+
+def shed_stream(
+    edge_stream_factory: EdgeStreamFactory,
+    p: float,
+    rounding: Callable[[float], int] = round_half_up,
+) -> Iterator[Edge]:
+    """Two-pass degree-preserving shedding; yields the kept edges.
+
+    ``edge_stream_factory`` must return a fresh iterable of the same edges
+    on each call (e.g. ``lambda: read_edges(path)``), because the stream
+    is consumed twice.  Yields kept edges in stream order.
+    """
+    p = validate_ratio(p)
+    degrees = count_stream_degrees(edge_stream_factory())
+    capacities = {node: rounding(p * degree) for node, degree in degrees.items()}
+    load: Dict[Node, int] = dict.fromkeys(degrees, 0)
+    for u, v in edge_stream_factory():
+        if load[u] < capacities[u] and load[v] < capacities[v]:
+            load[u] += 1
+            load[v] += 1
+            yield (u, v)
+
+
+def reservoir_shed(
+    edges: Iterable[Edge],
+    p: float,
+    total_edges: int,
+    seed: RandomState = None,
+) -> List[Edge]:
+    """Single-pass uniform sampling of ``[p·total_edges]`` edges.
+
+    Classic reservoir sampling (Algorithm R): the baseline for the
+    streaming comparison.  ``total_edges`` must be the stream length (or
+    an upper bound; a short stream simply fills less of the reservoir).
+    """
+    p = validate_ratio(p)
+    if total_edges < 0:
+        raise ReductionError(f"total_edges must be non-negative, got {total_edges}")
+    rng = ensure_rng(seed)
+    target = round_half_up(p * total_edges)
+    reservoir: List[Edge] = []
+    for index, edge in enumerate(edges):
+        if len(reservoir) < target:
+            reservoir.append(edge)
+        else:
+            slot = int(rng.integers(index + 1))
+            if slot < target:
+                reservoir[slot] = edge
+    return reservoir

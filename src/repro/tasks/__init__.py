@@ -1,0 +1,71 @@
+"""The seven graph-analysis evaluation tasks from the paper's Section V.
+
+Five characteristics (degree distribution, shortest-path distances,
+betweenness centrality, clustering coefficient, hop-plot) and two
+applications (top-k PageRank query, link prediction within community).
+:func:`all_tasks` builds the full battery with one seed.
+"""
+
+from typing import List, Optional
+
+from repro.rng import RandomState
+from repro.tasks.base import GraphTask, TaskArtifact, TaskEvaluation
+from repro.tasks.betweenness import BetweennessCentralityTask
+from repro.tasks.clustering import ClusteringCoefficientTask
+from repro.tasks.community import CommunityTask
+from repro.tasks.connectivity import ConnectivityTask
+from repro.tasks.degree import DegreeDistributionTask
+from repro.tasks.hopplot import HopPlotTask
+from repro.tasks.link_prediction import LinkPredictionTask, two_hop_pairs
+from repro.tasks.metrics import (
+    curve_similarity,
+    distribution_similarity,
+    ks_statistic,
+    l1_distance,
+    overlap_utility,
+    total_variation_distance,
+)
+from repro.tasks.sp_distance import ShortestPathDistanceTask
+from repro.tasks.topk import TopKQueryTask
+
+__all__ = [
+    "GraphTask",
+    "TaskArtifact",
+    "TaskEvaluation",
+    "DegreeDistributionTask",
+    "ShortestPathDistanceTask",
+    "BetweennessCentralityTask",
+    "ClusteringCoefficientTask",
+    "HopPlotTask",
+    "TopKQueryTask",
+    "LinkPredictionTask",
+    "ConnectivityTask",
+    "CommunityTask",
+    "two_hop_pairs",
+    "all_tasks",
+    "total_variation_distance",
+    "distribution_similarity",
+    "ks_statistic",
+    "l1_distance",
+    "curve_similarity",
+    "overlap_utility",
+]
+
+
+def all_tasks(
+    seed: RandomState = None, num_sources: Optional[int] = None
+) -> List[GraphTask]:
+    """The full seven-task battery, in the paper's order.
+
+    ``num_sources`` switches the BFS/betweenness-heavy tasks to sampled
+    estimators — recommended beyond a few thousand nodes.
+    """
+    return [
+        DegreeDistributionTask(),
+        ShortestPathDistanceTask(num_sources=num_sources, seed=seed),
+        BetweennessCentralityTask(num_sources=num_sources, seed=seed),
+        ClusteringCoefficientTask(),
+        HopPlotTask(num_sources=num_sources, seed=seed),
+        TopKQueryTask(),
+        LinkPredictionTask(seed=seed),
+    ]

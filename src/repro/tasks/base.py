@@ -1,0 +1,101 @@
+"""Shared machinery for the seven evaluation tasks.
+
+A :class:`GraphTask` computes an *artifact* from a graph (a distribution, a
+curve, a ranked node list, a pair set, ...) and knows how to score the
+similarity/utility of a reduced graph's artifact against the original's.
+Artifacts computed on reduced graphs receive the preservation ratio ``p``
+as ``scale`` so degree-based tasks can apply the paper's estimator
+``deg_G(u) ≈ deg_G'(u) / p``; artifacts of original graphs use
+``scale = 1.0``.
+
+The benchmark harness drives everything through :meth:`GraphTask.evaluate`,
+which packages both artifacts, the utility, and the timings.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.base import ReductionResult
+from repro.errors import TaskError
+from repro.graph.graph import Graph
+
+__all__ = ["GraphTask", "TaskArtifact", "TaskEvaluation"]
+
+
+@dataclass
+class TaskArtifact:
+    """One task output on one graph, with its wall-clock cost."""
+
+    task: str
+    value: Any
+    elapsed_seconds: float
+    scale: float = 1.0
+
+
+@dataclass
+class TaskEvaluation:
+    """Original-vs-reduced comparison for one task."""
+
+    task: str
+    utility: float
+    original: TaskArtifact
+    reduced: TaskArtifact
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def analysis_seconds(self) -> float:
+        """Task time on the reduced graph (Tables VI-VII's quantity)."""
+        return self.reduced.elapsed_seconds
+
+
+class GraphTask(ABC):
+    """A graph-analysis task with a utility notion between two graphs."""
+
+    #: Task name used in benchmark tables (matches the paper's labels).
+    name: str = "task"
+
+    def compute(self, graph: Graph, scale: float = 1.0) -> TaskArtifact:
+        """Timed artifact computation.  ``scale`` is the reduction ratio."""
+        if not 0.0 < scale <= 1.0:
+            raise TaskError(f"scale must be in (0, 1], got {scale}")
+        start = time.perf_counter()
+        value = self._compute(graph, scale)
+        elapsed = time.perf_counter() - start
+        return TaskArtifact(task=self.name, value=value, elapsed_seconds=elapsed, scale=scale)
+
+    def compute_for_result(self, result: ReductionResult) -> TaskArtifact:
+        """Artifact for a reduction result (hook for summary-native paths).
+
+        The default computes on ``result.reduced`` with ``scale = result.p``.
+        Tasks that can exploit method-specific structure (e.g. top-k on a
+        UDS summary) override this.
+        """
+        return self.compute(result.reduced, scale=result.p)
+
+    def evaluate(self, original: Graph, result: ReductionResult) -> TaskEvaluation:
+        """Compare the task's artifact on ``original`` vs on the reduction."""
+        original_artifact = self.compute(original, scale=1.0)
+        reduced_artifact = self.compute_for_result(result)
+        utility = self.utility(original_artifact, reduced_artifact)
+        return TaskEvaluation(
+            task=self.name,
+            utility=utility,
+            original=original_artifact,
+            reduced=reduced_artifact,
+            details={"method": result.method, "p": result.p},
+        )
+
+    @abstractmethod
+    def _compute(self, graph: Graph, scale: float) -> Any:
+        """Produce the task artifact value."""
+
+    @abstractmethod
+    def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
+        """Similarity/utility of the reduced artifact vs the original's, in [0, 1]."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,38 @@
+"""Extension task — connectivity structure preservation.
+
+Not one of the paper's seven tasks, but a direct probe of CRR's design
+goal of "preserving key topological connectivity": the artifact records
+the giant-component fraction and component count; the utility is the
+ratio of giant-component fractions (capped at 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import connected_components
+from repro.tasks.base import GraphTask, TaskArtifact
+
+__all__ = ["ConnectivityTask"]
+
+
+class ConnectivityTask(GraphTask):
+    """Giant-component fraction and component count."""
+
+    name = "Connectivity"
+
+    def _compute(self, graph: Graph, scale: float) -> Dict[str, float]:
+        components = connected_components(graph)
+        n = graph.num_nodes
+        giant = len(components[0]) / n if components and n else 0.0
+        return {
+            "giant_fraction": giant,
+            "num_components": float(len(components)),
+        }
+
+    def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
+        original_giant = original.value["giant_fraction"]
+        if original_giant == 0:
+            return 1.0
+        return min(1.0, reduced.value["giant_fraction"] / original_giant)

@@ -1,0 +1,34 @@
+"""Task 2 — shortest-path distance distribution.
+
+Artifact: the fraction of reachable vertex pairs at each hop distance
+(the series of the paper's Figure 7).  No rescaling applies — the claim
+under test is precisely that shedding preserves path lengths as they are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import distance_distribution
+from repro.rng import RandomState
+from repro.tasks.base import GraphTask, TaskArtifact
+from repro.tasks.metrics import distribution_similarity
+
+__all__ = ["ShortestPathDistanceTask"]
+
+
+class ShortestPathDistanceTask(GraphTask):
+    """Distance distribution; ``num_sources`` enables sampled BFS."""
+
+    name = "SP distance"
+
+    def __init__(self, num_sources: Optional[int] = None, seed: RandomState = None) -> None:
+        self.num_sources = num_sources
+        self._seed = seed
+
+    def _compute(self, graph: Graph, scale: float) -> Dict[int, float]:
+        return distance_distribution(graph, num_sources=self.num_sources, seed=self._seed)
+
+    def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
+        return distribution_similarity(original.value, reduced.value)

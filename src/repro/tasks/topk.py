@@ -1,0 +1,80 @@
+"""Task 6 — top-k query (PageRank top-t%).
+
+Rank nodes by PageRank on the original and on the reduced graph; the
+utility is the overlap of the two top-``k`` sets divided by ``k``, with
+``k = [|V| · t%]`` (the paper uses ``t = 10``).  Because our reductions
+keep the full node set, ``k`` is identical on both sides.
+
+For UDS the paper notes it adopts "its own processing method of
+supernodes": PageRank runs on the *summary* graph and a supernode's score
+is shared equally among its members.  :meth:`compute_for_result` takes that
+path automatically when the reduction carries a summary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.summary import GraphSummary
+from repro.core.base import ReductionResult
+from repro.core.discrepancy import round_half_up
+from repro.errors import TaskError
+from repro.graph.graph import Graph, Node
+from repro.graph.pagerank import pagerank, top_k_nodes
+from repro.tasks.base import GraphTask, TaskArtifact
+from repro.tasks.metrics import overlap_utility
+
+__all__ = ["TopKQueryTask"]
+
+
+class TopKQueryTask(GraphTask):
+    """Top-t% PageRank overlap (paper default t = 10)."""
+
+    name = "Top-k"
+
+    def __init__(self, t_percent: float = 10.0, damping: float = 0.85) -> None:
+        if not 0.0 < t_percent <= 100.0:
+            raise TaskError(f"t_percent must be in (0, 100], got {t_percent}")
+        self.t_percent = t_percent
+        self.damping = damping
+
+    def _k_for(self, num_nodes: int) -> int:
+        return max(1, round_half_up(num_nodes * self.t_percent / 100.0))
+
+    def _compute(self, graph: Graph, scale: float) -> List[Node]:
+        return top_k_nodes(graph, self._k_for(graph.num_nodes), damping=self.damping)
+
+    def compute_for_result(self, result: ReductionResult) -> TaskArtifact:
+        summary = result.stats.get("summary")
+        if isinstance(summary, GraphSummary):
+            import time
+
+            start = time.perf_counter()
+            value = self._summary_top_k(summary)
+            elapsed = time.perf_counter() - start
+            return TaskArtifact(
+                task=self.name, value=value, elapsed_seconds=elapsed, scale=result.p
+            )
+        return super().compute_for_result(result)
+
+    def _summary_top_k(self, summary: GraphSummary) -> List[Node]:
+        """UDS-native ranking: summary PageRank, score split among members."""
+        supernode_graph = Graph(nodes=summary.supernodes())
+        for rep_a, rep_b in summary.superedges():
+            if rep_a != rep_b:
+                supernode_graph.add_edge(rep_a, rep_b)
+        scores = pagerank(supernode_graph, damping=self.damping)
+        member_scores = {}
+        for rep in summary.supernodes():
+            members = summary.members(rep)
+            share = scores.get(rep, 0.0) / len(members)
+            for member in members:
+                member_scores[member] = share
+        position = {node: i for i, node in enumerate(summary.graph.nodes())}
+        ranked = sorted(
+            member_scores, key=lambda node: (-member_scores[node], position[node])
+        )
+        return ranked[: self._k_for(summary.graph.num_nodes)]
+
+    def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
+        return overlap_utility(original.value, reduced.value)

@@ -1,0 +1,128 @@
+"""Tests for the original-graph estimators."""
+
+import pytest
+
+from repro.analysis import (
+    estimate_average_degree,
+    estimate_degree,
+    estimate_degrees,
+    estimate_global_clustering,
+    estimate_num_edges,
+    estimate_triangle_count,
+    estimate_wedge_count,
+    estimation_report,
+    wedge_count,
+)
+from repro.core import BM2Shedder, RandomShedder
+from repro.errors import InvalidRatioError
+from repro.graph import Graph, complete_graph, triangle_count
+
+
+class TestWedgeCount:
+    def test_star(self, star4):
+        assert wedge_count(star4) == 6  # C(4,2) at the hub
+
+    def test_triangle(self, triangle):
+        assert wedge_count(triangle) == 3
+
+    def test_path(self, path5):
+        assert wedge_count(path5) == 3
+
+    def test_empty(self, empty_graph):
+        assert wedge_count(empty_graph) == 0
+
+
+class TestPointEstimators:
+    def test_edge_count(self, k5):
+        # keeping 5 of 10 edges at p=0.5 estimates 10 exactly
+        reduced = k5.edge_subgraph(list(k5.edges())[:5])
+        assert estimate_num_edges(reduced, 0.5) == pytest.approx(10.0)
+
+    def test_degree(self, star4):
+        reduced = star4.edge_subgraph([(0, 1), (0, 2)])
+        assert estimate_degree(reduced, 0, 0.5) == pytest.approx(4.0)
+
+    def test_degrees_mapping(self, star4):
+        reduced = star4.edge_subgraph([(0, 1), (0, 2)])
+        estimates = estimate_degrees(reduced, 0.5)
+        assert estimates[0] == pytest.approx(4.0)
+        assert estimates[3] == pytest.approx(0.0)
+
+    def test_average_degree(self, k5):
+        reduced = k5.edge_subgraph(list(k5.edges())[:5])
+        assert estimate_average_degree(reduced, 0.5) == pytest.approx(4.0)
+
+    def test_average_degree_empty(self):
+        assert estimate_average_degree(Graph(), 0.5) == 0.0
+
+    def test_invalid_p(self, k5):
+        with pytest.raises(InvalidRatioError):
+            estimate_num_edges(k5, 1.0)
+        with pytest.raises(InvalidRatioError):
+            estimate_triangle_count(k5, 0.0)
+
+    def test_clustering_no_wedges(self):
+        g = Graph(edges=[(0, 1)])
+        assert estimate_global_clustering(g, 0.5) == 0.0
+
+
+class TestUnbiasedness:
+    """Under random shedding the estimators are unbiased; check that the
+    mean over seeds lands near the truth."""
+
+    @pytest.fixture(scope="class")
+    def original(self):
+        return complete_graph(12)  # 66 edges, 220 triangles, rich wedges
+
+    def test_edge_count_unbiased(self, original):
+        p = 0.5
+        estimates = [
+            estimate_num_edges(RandomShedder(seed=s).reduce(original, p).reduced, p)
+            for s in range(10)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(original.num_edges, rel=0.05)
+
+    def test_triangle_count_roughly_unbiased(self, original):
+        p = 0.6
+        truth = triangle_count(original)
+        estimates = [
+            estimate_triangle_count(RandomShedder(seed=s).reduce(original, p).reduced, p)
+            for s in range(20)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.35)
+
+    def test_wedge_count_scaling(self, original):
+        p = 0.5
+        truth = wedge_count(original)
+        estimates = [
+            estimate_wedge_count(RandomShedder(seed=s).reduce(original, p).reduced, p)
+            for s in range(20)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.35)
+
+
+class TestEstimationReport:
+    def test_fields_and_errors(self, medium_powerlaw):
+        result = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.5)
+        report = estimation_report(medium_powerlaw, result.reduced, 0.5)
+        assert report.true_num_edges == medium_powerlaw.num_edges
+        errors = report.relative_errors()
+        assert set(errors) == {
+            "num_edges",
+            "average_degree",
+            "triangles",
+            "global_clustering",
+        }
+        # degree-preserving shedding keeps size/degree estimates tight
+        assert errors["num_edges"] < 0.05
+        assert errors["average_degree"] < 0.05
+
+    def test_zero_truth_handled(self, path5):
+        # a path has no triangles: relative error falls back to |estimate|
+        result = BM2Shedder(seed=0).reduce(path5, 0.5)
+        report = estimation_report(path5, result.reduced, 0.5)
+        errors = report.relative_errors()
+        assert errors["triangles"] >= 0.0

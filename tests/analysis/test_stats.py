@@ -1,0 +1,51 @@
+"""Tests for the graph_stats summary."""
+
+import math
+
+import pytest
+
+from repro.analysis import graph_stats
+from repro.graph import Graph, complete_graph
+
+
+class TestGraphStats:
+    def test_complete_graph(self):
+        stats = graph_stats(complete_graph(6))
+        assert stats.num_nodes == 6
+        assert stats.num_edges == 15
+        assert stats.average_degree == pytest.approx(5.0)
+        assert stats.max_degree == 5
+        assert stats.density == pytest.approx(1.0)
+        assert stats.average_clustering == pytest.approx(1.0)
+        assert stats.num_components == 1
+        assert stats.giant_component_fraction == pytest.approx(1.0)
+        assert stats.effective_diameter_90 <= 1.0
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1), (2, 3), (3, 4)])
+        stats = graph_stats(g)
+        assert stats.num_components == 2
+        assert stats.giant_component_fraction == pytest.approx(3 / 5)
+
+    def test_edgeless_graph(self):
+        stats = graph_stats(Graph(nodes=[1, 2, 3]))
+        assert stats.num_edges == 0
+        assert math.isnan(stats.effective_diameter_90)
+
+    def test_sampled_path_for_large_graphs(self, medium_powerlaw):
+        exact = graph_stats(medium_powerlaw, exact_limit=10_000)
+        sampled = graph_stats(medium_powerlaw, exact_limit=10, num_sources=128, seed=0)
+        assert sampled.effective_diameter_90 == pytest.approx(
+            exact.effective_diameter_90, rel=0.3
+        )
+
+    def test_describe_renders_all_fields(self, small_powerlaw):
+        text = graph_stats(small_powerlaw).describe()
+        for keyword in ("nodes:", "edges:", "clustering", "diameter", "assortativity"):
+            assert keyword in text
+
+    def test_consistent_with_graph(self, small_powerlaw):
+        stats = graph_stats(small_powerlaw)
+        assert stats.num_nodes == small_powerlaw.num_nodes
+        assert stats.num_edges == small_powerlaw.num_edges
+        assert stats.average_degree == pytest.approx(small_powerlaw.average_degree())

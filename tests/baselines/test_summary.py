@@ -1,0 +1,125 @@
+"""Tests for the GraphSummary data model."""
+
+import pytest
+
+from repro.baselines import GraphSummary
+from repro.errors import GraphError
+from repro.graph import Graph, complete_graph
+
+
+class TestPartition:
+    def test_initial_singletons(self, triangle):
+        summary = GraphSummary(triangle)
+        assert summary.num_supernodes == 3
+        for node in triangle.nodes():
+            assert summary.representative(node) == node
+            assert summary.members(node) == {node}
+
+    def test_merge(self, triangle):
+        summary = GraphSummary(triangle)
+        rep = summary.merge(0, 1)
+        assert summary.num_supernodes == 2
+        assert summary.members(rep) == {0, 1}
+        assert summary.representative(0) == rep
+        assert summary.representative(1) == rep
+
+    def test_merge_same_supernode_rejected(self, triangle):
+        summary = GraphSummary(triangle)
+        summary.merge(0, 1)
+        with pytest.raises(GraphError):
+            summary.merge(0, 1)
+
+    def test_weighted_union_larger_survives(self, k5):
+        summary = GraphSummary(k5)
+        rep01 = summary.merge(0, 1)
+        rep = summary.merge(2, rep01)  # size-1 merges into size-2
+        assert rep == rep01
+        assert summary.members(rep) == {0, 1, 2}
+
+    def test_members_of_non_representative_rejected(self, triangle):
+        summary = GraphSummary(triangle)
+        rep = summary.merge(0, 1)
+        absorbed = 1 if rep == 0 else 0
+        with pytest.raises(GraphError):
+            summary.members(absorbed)
+
+
+class TestSuperedges:
+    def test_set_and_get(self, triangle):
+        summary = GraphSummary(triangle)
+        summary.set_superedges([(0, 1), (2, 2)])
+        edges = set(summary.superedges())
+        assert (0, 1) in edges or (1, 0) in edges
+        assert (2, 2) in edges
+
+    def test_invalid_representative_rejected(self, triangle):
+        summary = GraphSummary(triangle)
+        with pytest.raises(GraphError):
+            summary.set_superedges([(0, 99)])
+
+    def test_superedges_follow_merge(self, k5):
+        summary = GraphSummary(k5)
+        summary.set_superedges([(0, 1)])
+        rep = summary.merge(1, 2)
+        # the (0, 1) superedge must now reference the merged representative
+        remaining = summary.superedges()
+        assert len(remaining) == 1
+        assert set(remaining[0]) <= {0, rep}
+
+
+class TestCoverage:
+    def test_block_pairs_cross(self, k5):
+        summary = GraphSummary(k5)
+        a = summary.merge(0, 1)
+        b = summary.merge(2, 3)
+        assert summary.block_pairs(a, b) == 4
+
+    def test_block_pairs_internal(self, k5):
+        summary = GraphSummary(k5)
+        rep = summary.merge(0, 1)
+        rep = summary.merge(rep, 2)
+        assert summary.block_pairs(rep, rep) == 3
+
+    def test_actual_edges_between(self, k5):
+        summary = GraphSummary(k5)
+        a = summary.merge(0, 1)
+        b = summary.merge(2, 3)
+        assert summary.actual_edges_between(a, b) == 4  # K5: all pairs exist
+
+    def test_actual_edges_internal(self):
+        g = Graph(edges=[(0, 1), (1, 2)])  # path: no (0,2) edge
+        summary = GraphSummary(g)
+        rep = summary.merge(0, 1)
+        rep = summary.merge(rep, 2)
+        assert summary.actual_edges_between(rep, rep) == 2
+
+
+class TestReconstruction:
+    def test_identity_summary_reconstructs_original(self, triangle):
+        summary = GraphSummary(triangle)
+        summary.set_superedges(list(triangle.edges()))
+        assert summary.reconstruct() == triangle
+
+    def test_clique_expansion(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        summary = GraphSummary(g)
+        rep = summary.merge(0, 1)
+        rep = summary.merge(rep, 2)
+        summary.set_superedges([(rep, rep)])
+        expanded = summary.reconstruct()
+        assert expanded.num_edges == 3  # clique on {0,1,2}: adds the (0,2) pair
+
+    def test_bipartite_expansion(self, k5):
+        summary = GraphSummary(k5)
+        a = summary.merge(0, 1)
+        b = summary.merge(2, 3)
+        summary.set_superedges([(a, b)])
+        expanded = summary.reconstruct()
+        assert expanded.num_edges == 4
+        assert expanded.has_edge(0, 2) and expanded.has_edge(1, 3)
+
+    def test_no_superedges_gives_empty_graph(self, k5):
+        summary = GraphSummary(k5)
+        expanded = summary.reconstruct()
+        assert expanded.num_edges == 0
+        assert expanded.num_nodes == 5

@@ -1,0 +1,50 @@
+"""Tests for GraphSummary serialisation."""
+
+import json
+
+import pytest
+
+from repro.baselines import GraphSummary, UDSSummarizer
+from repro.errors import GraphError
+
+
+class TestSummarySerialization:
+    def test_round_trip_trivial(self, triangle):
+        summary = GraphSummary(triangle)
+        summary.set_superedges(list(triangle.edges()))
+        restored = GraphSummary.from_dict(triangle, summary.to_dict())
+        assert restored.reconstruct() == summary.reconstruct()
+
+    def test_round_trip_with_merges(self, k5):
+        summary = GraphSummary(k5)
+        rep = summary.merge(0, 1)
+        rep = summary.merge(rep, 2)
+        summary.set_superedges([(rep, rep), (3, 4)])
+        payload = summary.to_dict()
+        restored = GraphSummary.from_dict(k5, payload)
+        assert restored.num_supernodes == summary.num_supernodes
+        assert restored.reconstruct() == summary.reconstruct()
+
+    def test_round_trip_through_json(self, k5):
+        summary = GraphSummary(k5)
+        summary.merge(0, 1)
+        summary.set_superedges([(summary.representative(0), 2)])
+        payload = json.loads(json.dumps(summary.to_dict()))
+        restored = GraphSummary.from_dict(k5, payload)
+        assert restored.reconstruct() == summary.reconstruct()
+
+    def test_round_trip_uds_output(self, small_powerlaw):
+        result = UDSSummarizer(seed=0).reduce(small_powerlaw, 0.5)
+        summary = result.stats["summary"]
+        restored = GraphSummary.from_dict(small_powerlaw, summary.to_dict())
+        assert restored.reconstruct() == result.reduced
+
+    def test_membership_preserved(self, k5):
+        summary = GraphSummary(k5)
+        rep = summary.merge(3, 4)
+        restored = GraphSummary.from_dict(k5, summary.to_dict())
+        assert restored.members(restored.representative(3)) == {3, 4}
+
+    def test_invalid_payload(self, triangle):
+        with pytest.raises(GraphError):
+            GraphSummary.from_dict(triangle, {"bogus": True})

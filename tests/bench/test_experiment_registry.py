@@ -1,0 +1,36 @@
+"""Contract tests for the experiment registry."""
+
+import inspect
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+class TestRegistryContract:
+    def test_all_runners_accept_quick_and_seed(self):
+        for key, runner in ALL_EXPERIMENTS.items():
+            signature = inspect.signature(runner)
+            assert "quick" in signature.parameters, key
+            assert "seed" in signature.parameters, key
+
+    def test_all_runners_default_to_quick(self):
+        for key, runner in ALL_EXPERIMENTS.items():
+            assert inspect.signature(runner).parameters["quick"].default is True, key
+
+    def test_experiment_ids_unique_and_kebab(self):
+        assert len(ALL_EXPERIMENTS) == len(set(ALL_EXPERIMENTS))
+        for key in ALL_EXPERIMENTS:
+            assert key == key.lower()
+            assert " " not in key
+
+    def test_paper_artifacts_all_registered(self):
+        paper = {
+            "fig4", "fig5ab", "fig5cd", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9", "tab10",
+        }
+        assert paper <= set(ALL_EXPERIMENTS)
+
+    def test_every_runner_documented(self):
+        for key, runner in ALL_EXPERIMENTS.items():
+            assert runner.__doc__, f"{key} runner lacks a docstring"

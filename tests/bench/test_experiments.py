@@ -1,0 +1,201 @@
+"""Smoke + shape tests for every experiment module.
+
+Runs each experiment at drastically shrunken dataset scales (monkeypatched
+quick profile) so the whole file stays fast, and checks structural
+properties of the reports: correct columns, one row per grid point, and
+the cheap qualitative assertions (e.g. BM2 faster than UDS).
+"""
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ablations,
+    fig4_steps,
+    fig5_error_bounds,
+    fig7_sp_distance,
+    fig10_hopplot,
+    fig56_degree_dist,
+    fig89_curves,
+    tab3_reduction_time,
+    tab10_linkpred,
+    tab45_total_time,
+    tab67_analysis_time,
+    tab89_topk,
+)
+
+_TINY_SCALES = {
+    "ca-grqc": 0.025,
+    "ca-hepph": 0.008,
+    "email-enron": 0.003,
+    "com-livejournal": 0.00005,
+}
+
+
+@pytest.fixture(autouse=True)
+def tiny_scales(monkeypatch):
+    monkeypatch.setattr(harness, "_QUICK_SCALES", _TINY_SCALES)
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_covered(self):
+        expected = {
+            "fig4", "tab3", "tab4", "tab5", "tab6", "tab7",
+            "fig5ab", "fig5cd", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "tab8", "tab9", "tab10",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        assert sum(1 for key in ALL_EXPERIMENTS if key.startswith("ablation")) >= 5
+
+
+class TestFig4:
+    def test_report_shape(self):
+        report = fig4_steps.run(quick=True, seed=0)
+        assert report.experiment_id == "fig4"
+        assert len(report.rows) == 7  # x grid
+        assert "ca-grqc avg delta" in report.headers
+
+    def test_more_steps_not_worse(self):
+        report = fig4_steps.run(quick=True, seed=0)
+        deltas = report.column("ca-grqc avg delta")
+        assert deltas[-1] <= deltas[0]  # x=13 at least as good as x=0
+
+
+class TestTab3:
+    def test_uds_skipped_on_livejournal(self):
+        report = tab3_reduction_time.run(quick=True, seed=0)
+        assert all(value is None for value in report.column("com-livejournal/UDS"))
+
+    def test_bm2_fastest(self):
+        report = tab3_reduction_time.run(quick=True, seed=0)
+        for dataset in ("ca-grqc", "ca-hepph", "email-enron"):
+            uds = report.column(f"{dataset}/UDS")
+            bm2 = report.column(f"{dataset}/BM2")
+            assert all(b < u for b, u in zip(bm2, uds))
+
+
+class TestTab45:
+    def test_table4_layout(self):
+        report = tab45_total_time.run_table4(quick=True, seed=0)
+        assert report.rows[0][0] == "T"
+        assert len(report.rows) == 4  # T + three p values
+        assert any("Link prediction" in h for h in report.headers)
+
+    def test_table5_layout(self):
+        report = tab45_total_time.run_table5(quick=True, seed=0)
+        assert any("Top-k" in h for h in report.headers)
+        assert any("Clustering coefficient" in h for h in report.headers)
+
+
+class TestTab67:
+    def test_table6_measures_analysis_only(self):
+        report = tab67_analysis_time.run_table6(quick=True, seed=0)
+        assert report.experiment_id == "tab6"
+        assert len(report.rows) == 4
+
+    def test_table7(self):
+        report = tab67_analysis_time.run_table7(quick=True, seed=0)
+        assert any("Vertex degree" in h for h in report.headers)
+
+
+class TestFig5:
+    def test_bounds_hold(self):
+        report = fig5_error_bounds.run(quick=True, seed=0)
+        crr = report.column("CRR avg delta")
+        crr_bound = report.column("CRR bound (Thm 1)")
+        bm2 = report.column("BM2 avg delta")
+        bm2_bound = report.column("BM2 bound (Thm 2)")
+        assert all(m <= b for m, b in zip(crr, crr_bound))
+        assert all(m <= b for m, b in zip(bm2, bm2_bound))
+
+    def test_degree_distribution_report(self):
+        report = fig56_degree_dist.run(quick=True, seed=0)
+        assert report.headers == ["degree", "initial", "UDS", "CRR", "BM2"]
+
+    def test_zoom_covers_degrees_1_to_18(self):
+        report = fig56_degree_dist.run_zoom(quick=True, seed=0)
+        assert [row[0] for row in report.rows] == list(range(1, 19))
+
+
+class TestFigureCurves:
+    def test_fig7_rows_per_dataset(self):
+        report = fig7_sp_distance.run(quick=True, seed=0)
+        datasets = {row[0] for row in report.rows}
+        assert datasets == {"ca-grqc", "ca-hepph", "email-enron"}
+
+    def test_fig8_bins_are_powers_of_two(self):
+        report = fig89_curves.run_betweenness(quick=True, seed=0)
+        for row in report.rows:
+            bin_edge = row[1]
+            assert bin_edge & (bin_edge - 1) == 0
+
+    def test_fig9_runs(self):
+        report = fig89_curves.run_clustering(quick=True, seed=0)
+        assert report.experiment_id == "fig9"
+        assert report.rows
+
+    def test_fig10_curves_cumulative(self):
+        report = fig10_hopplot.run(quick=True, seed=0)
+        by_dataset = {}
+        for dataset, hops, initial, *_ in report.rows:
+            by_dataset.setdefault(dataset, []).append(initial)
+        for series in by_dataset.values():
+            assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+
+
+class TestTopKTables:
+    def test_tab8_crr_beats_uds(self):
+        report = tab89_topk.run_table8(quick=True, seed=0)
+        for dataset in ("ca-grqc", "ca-hepph"):
+            uds = report.column(f"{dataset}/UDS")
+            crr = report.column(f"{dataset}/CRR")
+            # CRR wins on average over the p grid (cell-level noise allowed)
+            assert sum(crr) > sum(uds)
+
+    def test_tab9_uds_skipped_on_livejournal(self):
+        report = tab89_topk.run_table9(quick=True, seed=0)
+        assert all(value is None for value in report.column("com-livejournal/UDS"))
+
+    def test_utilities_in_unit_interval(self):
+        report = tab89_topk.run_table8(quick=True, seed=0)
+        for header in report.headers[1:]:
+            for value in report.column(header):
+                if value is not None:
+                    assert 0.0 <= value <= 1.0
+
+
+class TestTab10:
+    def test_linkpred_utilities_valid(self):
+        report = tab10_linkpred.run(quick=True, seed=0)
+        for header in report.headers[1:]:
+            for value in report.column(header):
+                assert 0.0 <= value <= 1.0
+
+
+class TestAblations:
+    def test_rewiring_budget_monotone(self):
+        report = ablations.run_rewiring_budget(quick=True, seed=0)
+        deltas = report.column("avg delta")
+        assert deltas[-1] <= deltas[0]
+
+    def test_initial_ranking_giant_component(self):
+        report = ablations.run_initial_ranking(quick=True, seed=0)
+        sizes = dict(zip(report.column("initial ranking"), report.column("giant component size")))
+        assert sizes["betweenness"] >= sizes["random"]
+
+    def test_rounding_rules_bracket_budget(self):
+        report = ablations.run_bm2_rounding(quick=True, seed=0)
+        ratios = dict(zip(report.column("rounding"), report.column("achieved ratio")))
+        assert ratios["floor"] <= ratios["ceil"]
+
+    def test_edge_order_report(self):
+        report = ablations.run_bm2_edge_order(quick=True, seed=0)
+        assert len(report.rows) == 2
+
+    def test_sampling_cheaper(self):
+        report = ablations.run_sampled_betweenness(quick=True, seed=0)
+        times = dict(zip(report.column("estimator"), report.column("time (s)")))
+        assert times["k=16"] <= times["exact"]

@@ -1,0 +1,56 @@
+"""Tests for the experiment harness."""
+
+from repro.bench import ReductionCache, default_shedders, full_scales, quick_scales
+from repro.core import BM2Shedder
+
+
+class TestScales:
+    def test_quick_scales_cover_all_datasets(self):
+        scales = quick_scales()
+        assert set(scales) == {
+            "ca-grqc",
+            "ca-hepph",
+            "email-enron",
+            "com-livejournal",
+        }
+        assert all(0 < s < 1 for s in scales.values())
+
+    def test_full_scales_use_registry_defaults(self):
+        assert all(value is None for value in full_scales().values())
+
+
+class TestDefaultShedders:
+    def test_paper_methods_present(self):
+        shedders = default_shedders(seed=0)
+        assert set(shedders) == {"UDS", "CRR", "BM2"}
+
+    def test_sampling_propagated(self):
+        shedders = default_shedders(seed=0, crr_sources=32)
+        assert shedders["CRR"].num_betweenness_sources == 32
+        assert shedders["UDS"].num_betweenness_sources == 32
+
+
+class TestReductionCache:
+    def test_graph_cached(self):
+        cache = ReductionCache(seed=0)
+        a = cache.graph("ca-grqc", 0.02)
+        b = cache.graph("ca-grqc", 0.02)
+        assert a is b
+
+    def test_different_scale_different_graph(self):
+        cache = ReductionCache(seed=0)
+        assert cache.graph("ca-grqc", 0.02) is not cache.graph("ca-grqc", 0.03)
+
+    def test_reduction_cached(self):
+        cache = ReductionCache(seed=0)
+        shedder = BM2Shedder(seed=0)
+        a = cache.reduce("ca-grqc", 0.02, "BM2", shedder, 0.5)
+        b = cache.reduce("ca-grqc", 0.02, "BM2", shedder, 0.5)
+        assert a is b
+
+    def test_different_p_not_shared(self):
+        cache = ReductionCache(seed=0)
+        shedder = BM2Shedder(seed=0)
+        a = cache.reduce("ca-grqc", 0.02, "BM2", shedder, 0.5)
+        b = cache.reduce("ca-grqc", 0.02, "BM2", shedder, 0.4)
+        assert a is not b

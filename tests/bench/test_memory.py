@@ -1,0 +1,42 @@
+"""Tests for the tracemalloc measurement harness."""
+
+import pytest
+
+from repro.bench.memory import MemoryMeasurement, measure_peak_memory
+
+
+class TestMeasurePeakMemory:
+    def test_returns_value(self):
+        measurement = measure_peak_memory(lambda: 42)
+        assert measurement.value == 42
+
+    def test_peak_scales_with_allocation(self):
+        small = measure_peak_memory(lambda: [0] * 1000)
+        large = measure_peak_memory(lambda: [0] * 1_000_000)
+        assert large.peak_bytes > 10 * small.peak_bytes
+
+    def test_peak_counts_transient_allocations(self):
+        def allocate_and_drop():
+            scratch = list(range(500_000))
+            del scratch
+            return "done"
+
+        measurement = measure_peak_memory(allocate_and_drop)
+        assert measurement.value == "done"
+        assert measurement.peak_bytes > measurement.allocated_bytes
+        assert measurement.peak_bytes > 1_000_000
+
+    def test_peak_mib_conversion(self):
+        measurement = MemoryMeasurement(value=None, peak_bytes=2 * 1024 * 1024, allocated_bytes=0)
+        assert measurement.peak_mib == pytest.approx(2.0)
+
+    def test_tracing_stopped_after_exception(self):
+        import tracemalloc
+
+        with pytest.raises(ValueError):
+            measure_peak_memory(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        assert not tracemalloc.is_tracing()
+
+    def test_nesting_rejected(self):
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(lambda: measure_peak_memory(lambda: 1))

@@ -1,0 +1,101 @@
+"""Tests for report serialisation and markdown rendering."""
+
+import pytest
+
+from repro.bench.harness import BenchReport
+from repro.bench.reporting import (
+    load_report_json,
+    render_markdown,
+    report_from_dict,
+    report_to_dict,
+    save_report_json,
+)
+from repro.errors import BenchError
+
+
+@pytest.fixture
+def report():
+    return BenchReport(
+        experiment_id="demo",
+        title="Demo table",
+        headers=["p", "value"],
+        rows=[[0.5, 1.234567], [0.1, None]],
+        notes=["a note"],
+    )
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self, report):
+        restored = report_from_dict(report_to_dict(report))
+        assert restored.experiment_id == report.experiment_id
+        assert restored.headers == report.headers
+        assert restored.rows == report.rows
+        assert restored.notes == report.notes
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(BenchError):
+            report_from_dict({"title": "x"})
+
+    def test_notes_optional(self):
+        restored = report_from_dict(
+            {"experiment_id": "x", "title": "t", "headers": ["a"], "rows": [[1]]}
+        )
+        assert restored.notes == []
+
+
+class TestJsonFiles:
+    def test_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "demo.json"
+        save_report_json(report, path)
+        restored = load_report_json(path)
+        assert restored.rows == report.rows
+        assert restored.title == report.title
+
+
+class TestMarkdown:
+    def test_structure(self, report):
+        text = render_markdown(report)
+        lines = text.splitlines()
+        assert lines[0] == "### Demo table"
+        assert lines[2] == "| p | value |"
+        assert lines[3] == "|---|---|"
+        assert "| 0.500 | 1.235 |" in text
+
+    def test_none_rendered_blank(self, report):
+        assert "| 0.100 |  |" in render_markdown(report)
+
+    def test_notes_italicised(self, report):
+        assert "*a note*" in render_markdown(report)
+
+
+def _load_script(name):
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "scripts" / "generate_experiments.py"
+    spec = importlib.util.spec_from_file_location(name, script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenerateScript:
+    def test_script_runs_single_experiment(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(
+            harness,
+            "_QUICK_SCALES",
+            {"ca-grqc": 0.02, "ca-hepph": 0.008, "email-enron": 0.003, "com-livejournal": 0.00005},
+        )
+        module = _load_script("generate_experiments")
+        output = tmp_path / "RESULTS.md"
+        code = module.main(["--only", "ablation-rounding", "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert "### Ablation — BM2 capacity rounding" in text
+
+    def test_script_rejects_unknown_experiment(self, tmp_path):
+        module = _load_script("generate_experiments2")
+        with pytest.raises(SystemExit):
+            module.main(["--only", "nope", "--output", str(tmp_path / "x.md")])

@@ -1,0 +1,73 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.bench import format_cell, render_table
+from repro.bench.harness import BenchReport
+from repro.errors import BenchError
+
+
+class TestFormatCell:
+    def test_none_blank(self):
+        assert format_cell(None) == ""
+
+    def test_float_rounded(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_large_float(self):
+        assert format_cell(12345.678) == "12345.7"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("CRR") == "CRR"
+
+    def test_precision(self):
+        assert format_cell(0.123456, precision=5) == "0.12346"
+
+
+class TestRenderTable:
+    def test_header_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        text = render_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestBenchReport:
+    def _report(self):
+        return BenchReport(
+            experiment_id="x",
+            title="t",
+            headers=["p", "value"],
+            rows=[[0.5, 1.0], [0.1, 2.0]],
+            notes=["a note"],
+        )
+
+    def test_render_includes_notes(self):
+        assert "note: a note" in self._report().render()
+
+    def test_column_extraction(self):
+        assert self._report().column("value") == [1.0, 2.0]
+
+    def test_unknown_column(self):
+        with pytest.raises(BenchError):
+            self._report().column("bogus")

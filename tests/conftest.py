@@ -1,0 +1,65 @@
+"""Shared fixtures: small hand-checkable graphs and seeded randomness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    paper_figure1_graph,
+    path_graph,
+    powerlaw_cluster,
+    star_graph,
+)
+
+
+@pytest.fixture
+def empty_graph() -> Graph:
+    return Graph()
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(edges=[(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def star4() -> Graph:
+    """Star with hub 0 and leaves 1..4."""
+    return star_graph(4)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture
+def figure1() -> Graph:
+    """The paper's 11-node running example."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture
+def small_powerlaw() -> Graph:
+    """A seeded 120-node heavy-tailed graph for integration-style tests."""
+    return powerlaw_cluster(120, 3, 0.4, seed=12345)
+
+
+@pytest.fixture
+def medium_powerlaw() -> Graph:
+    """A seeded 300-node graph for the slower integration tests."""
+    return powerlaw_cluster(300, 3, 0.4, seed=999)

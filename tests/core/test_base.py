@@ -1,0 +1,72 @@
+"""Tests for the EdgeShedder interface and ReductionResult."""
+
+import pytest
+
+from repro.core import BM2Shedder, EdgeShedder, validate_ratio
+from repro.errors import InvalidRatioError, ReductionError
+from repro.graph import Graph
+
+
+class TestValidateRatio:
+    @pytest.mark.parametrize("p", [0.001, 0.5, 0.999])
+    def test_accepts_open_interval(self, p):
+        assert validate_ratio(p) == p
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(InvalidRatioError):
+            validate_ratio(p)
+
+    def test_coerces_to_float(self):
+        value = validate_ratio(0.5)
+        assert isinstance(value, float)
+
+
+class TestReductionResult:
+    @pytest.fixture
+    def result(self, figure1):
+        return BM2Shedder(seed=0).reduce(figure1, 0.4)
+
+    def test_metadata(self, result):
+        assert result.method == "BM2"
+        assert result.p == 0.4
+        assert result.elapsed_seconds >= 0
+
+    def test_edges_property(self, result):
+        assert set(result.edges) == set(result.reduced.edges())
+
+    def test_average_delta(self, result, figure1):
+        assert result.average_delta == pytest.approx(result.delta / figure1.num_nodes)
+
+    def test_achieved_ratio(self, result, figure1):
+        assert result.achieved_ratio == pytest.approx(
+            result.reduced.num_edges / figure1.num_edges
+        )
+
+    def test_summary_mentions_method_and_sizes(self, result):
+        text = result.summary()
+        assert "BM2" in text
+        assert "p=0.4" in text
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ReductionError):
+            BM2Shedder().reduce(Graph(nodes=[1]), 0.5)
+
+
+class TestCustomShedder:
+    def test_subclass_contract(self, triangle):
+        class KeepAll(EdgeShedder):
+            name = "KeepAll"
+
+            def _reduce(self, graph, p):
+                return graph.edge_subgraph(graph.edges()), {"kept": "all"}
+
+        result = KeepAll().reduce(triangle, 0.5)
+        assert result.method == "KeepAll"
+        assert result.reduced.num_edges == 3
+        assert result.stats == {"kept": "all"}
+        # delta is scored automatically: every node 1 over expectation of 1
+        assert result.delta == pytest.approx(3 * 1.0)
+
+    def test_repr(self):
+        assert "BM2" in repr(BM2Shedder())

@@ -1,0 +1,61 @@
+"""Tests for the Theorem 1/2 bound functions."""
+
+import pytest
+
+from repro.core import (
+    bm2_average_delta_bound,
+    bm2_bound_for_graph,
+    crr_average_delta_bound,
+    crr_bound_for_graph,
+)
+from repro.errors import InvalidRatioError
+
+
+class TestCRRBound:
+    def test_formula(self):
+        # 4 * 0.5 * 0.5 * 100 / 50 = 2.0
+        assert crr_average_delta_bound(0.5, 100, 50) == pytest.approx(2.0)
+
+    def test_symmetric_in_p(self):
+        assert crr_average_delta_bound(0.3, 100, 50) == pytest.approx(
+            crr_average_delta_bound(0.7, 100, 50)
+        )
+
+    def test_maximised_at_half(self):
+        at_half = crr_average_delta_bound(0.5, 100, 50)
+        assert crr_average_delta_bound(0.2, 100, 50) < at_half
+        assert crr_average_delta_bound(0.9, 100, 50) < at_half
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidRatioError):
+            crr_average_delta_bound(1.0, 10, 10)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            crr_average_delta_bound(0.5, 10, 0)
+        with pytest.raises(ValueError):
+            crr_average_delta_bound(0.5, -1, 10)
+
+    def test_graph_helper(self, figure1):
+        expected = crr_average_delta_bound(0.4, 11, 11)
+        assert crr_bound_for_graph(figure1, 0.4) == pytest.approx(expected)
+
+
+class TestBM2Bound:
+    def test_formula(self):
+        # 0.5 + 0.5 * 100 / 50 = 1.5
+        assert bm2_average_delta_bound(0.5, 100, 50) == pytest.approx(1.5)
+
+    def test_decreasing_in_p(self):
+        assert bm2_average_delta_bound(0.9, 100, 50) < bm2_average_delta_bound(0.1, 100, 50)
+
+    def test_floor_is_half(self):
+        assert bm2_average_delta_bound(0.999, 0, 50) == pytest.approx(0.5)
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidRatioError):
+            bm2_average_delta_bound(0.0, 10, 10)
+
+    def test_graph_helper(self, figure1):
+        expected = bm2_average_delta_bound(0.4, 11, 11)
+        assert bm2_bound_for_graph(figure1, 0.4) == pytest.approx(expected)

@@ -1,0 +1,43 @@
+"""Tests for the core-guided ablation shedder."""
+
+import pytest
+
+from repro.core import BM2Shedder, CoreShedder, round_half_up
+from repro.graph import edge_core_numbers
+
+
+class TestCoreShedder:
+    def test_edge_budget(self, medium_powerlaw):
+        result = CoreShedder(seed=0).reduce(medium_powerlaw, 0.5)
+        assert result.reduced.num_edges == round_half_up(0.5 * medium_powerlaw.num_edges)
+
+    def test_output_is_subgraph(self, medium_powerlaw):
+        result = CoreShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        for u, v in result.reduced.edges():
+            assert medium_powerlaw.has_edge(u, v)
+
+    def test_kept_cores_dominate_shed_cores(self, medium_powerlaw):
+        """Every kept edge's core number >= every shed edge's, up to the
+        boundary level where ties are broken randomly."""
+        result = CoreShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        cores = edge_core_numbers(medium_powerlaw)
+        kept = {medium_powerlaw.canonical_edge(u, v) for u, v in result.reduced.edges()}
+        kept_min = min(cores[e] for e in kept)
+        shed_max = max(cores[e] for e in cores if e not in kept)
+        assert kept_min >= shed_max - 1 or kept_min >= shed_max
+
+    def test_density_first_costs_delta(self, medium_powerlaw):
+        """The ablation's point: a density-first criterion has much worse
+        degree preservation than BM2."""
+        core = CoreShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        bm2 = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert core.delta > bm2.delta
+
+    def test_stats(self, medium_powerlaw):
+        result = CoreShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert result.stats["max_edge_core"] >= result.stats["min_kept_core"]
+
+    def test_deterministic(self, medium_powerlaw):
+        a = CoreShedder(seed=3).reduce(medium_powerlaw, 0.5).reduced
+        b = CoreShedder(seed=3).reduce(medium_powerlaw, 0.5).reduced
+        assert a == b

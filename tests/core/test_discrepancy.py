@@ -1,0 +1,151 @@
+"""Tests for the DegreeTracker and Δ computation."""
+
+import pytest
+
+from repro.core import DegreeTracker, compute_delta, round_half_up
+from repro.errors import EdgeNotFoundError, InvalidRatioError, ReductionError
+from repro.graph import Graph
+
+
+class TestRoundHalfUp:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(0.4, 0), (0.5, 1), (1.5, 2), (2.4, 2), (2.5, 3), (4.4, 4), (10.0, 10)],
+    )
+    def test_positive(self, value, expected):
+        assert round_half_up(value) == expected
+
+    @pytest.mark.parametrize("value, expected", [(-0.4, 0), (-0.5, -1), (-1.5, -2)])
+    def test_negative(self, value, expected):
+        assert round_half_up(value) == expected
+
+    def test_differs_from_bankers(self):
+        assert round_half_up(2.5) == 3
+        assert round(2.5) == 2  # Python's banker's rounding, by contrast
+
+
+class TestTrackerBasics:
+    def test_invalid_ratio(self, triangle):
+        with pytest.raises(InvalidRatioError):
+            DegreeTracker(triangle, 0.0)
+        with pytest.raises(InvalidRatioError):
+            DegreeTracker(triangle, 1.0)
+
+    def test_initial_state(self, star4):
+        tracker = DegreeTracker(star4, 0.5)
+        # empty edge set: delta = sum of expected degrees = p * 2|E|
+        assert tracker.delta == pytest.approx(0.5 * 2 * star4.num_edges)
+        assert tracker.num_edges == 0
+        assert tracker.dis(0) == pytest.approx(-2.0)
+
+    def test_expected_degree(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        assert tracker.expected_degree("u7") == pytest.approx(2.8)
+        assert tracker.expected_degree("u1") == pytest.approx(0.4)
+
+    def test_average_delta(self, star4):
+        tracker = DegreeTracker(star4, 0.5)
+        assert tracker.average_delta() == pytest.approx(tracker.delta / 5)
+
+
+class TestTrackerMutation:
+    def test_add_edge_updates_dis(self, triangle):
+        tracker = DegreeTracker(triangle, 0.5)
+        tracker.add_edge(0, 1)
+        assert tracker.current_degree(0) == 1
+        assert tracker.dis(0) == pytest.approx(0.0)
+        assert tracker.has_edge(1, 0)
+
+    def test_add_foreign_edge_rejected(self, path5):
+        tracker = DegreeTracker(path5, 0.5)
+        with pytest.raises(EdgeNotFoundError):
+            tracker.add_edge(0, 4)
+
+    def test_double_add_rejected(self, triangle):
+        tracker = DegreeTracker(triangle, 0.5)
+        tracker.add_edge(0, 1)
+        with pytest.raises(ReductionError):
+            tracker.add_edge(1, 0)
+
+    def test_remove_untracked_rejected(self, triangle):
+        tracker = DegreeTracker(triangle, 0.5)
+        with pytest.raises(EdgeNotFoundError):
+            tracker.remove_edge(0, 1)
+
+    def test_add_remove_round_trip(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        before = tracker.delta
+        tracker.add_edge("u1", "u7")
+        tracker.remove_edge("u1", "u7")
+        assert tracker.delta == pytest.approx(before)
+        assert tracker.num_edges == 0
+
+    def test_delta_matches_from_scratch(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        kept = [("u1", "u7"), ("u7", "u9"), ("u8", "u10")]
+        for edge in kept:
+            tracker.add_edge(*edge)
+        reduced = figure1.edge_subgraph(kept)
+        assert tracker.delta == pytest.approx(compute_delta(figure1, reduced, 0.4))
+
+
+class TestHypotheticalMoves:
+    def test_add_change_matches_paper_formula(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        du, dv = tracker.dis("u8"), tracker.dis("u10")
+        expected = abs(du + 1) + abs(dv + 1) - (abs(du) + abs(dv))
+        assert tracker.add_change("u8", "u10") == pytest.approx(expected)
+
+    def test_remove_change_matches_paper_formula(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        tracker.add_edge("u5", "u7")
+        du, dv = tracker.dis("u5"), tracker.dis("u7")
+        expected = abs(du - 1) + abs(dv - 1) - (abs(du) + abs(dv))
+        assert tracker.remove_change("u5", "u7") == pytest.approx(expected)
+
+    def test_swap_change_disjoint_equals_d1_plus_d2(self, figure1):
+        """The paper's worked swap: d1 + d2 = -2.4."""
+        tracker = DegreeTracker(figure1, 0.4)
+        for edge in [("u1", "u7"), ("u2", "u7"), ("u7", "u9"), ("u5", "u7")]:
+            tracker.add_edge(*edge)
+        # Example 1 swaps out (u5,u7) and in (u8,u10): total change -2.4.
+        change = tracker.swap_change(("u5", "u7"), ("u8", "u10"))
+        d1 = tracker.remove_change("u5", "u7")
+        d2 = tracker.add_change("u8", "u10")
+        assert change == pytest.approx(d1 + d2)
+        assert change == pytest.approx(-2.4)
+
+    def test_swap_change_shared_endpoint_exact(self, figure1):
+        """With a shared endpoint, swap_change is exact while d1+d2 is not."""
+        tracker = DegreeTracker(figure1, 0.4)
+        tracker.add_edge("u1", "u7")
+        before = tracker.delta
+        change = tracker.swap_change(("u1", "u7"), ("u2", "u7"))
+        tracker.apply_swap(("u1", "u7"), ("u2", "u7"))
+        assert tracker.delta == pytest.approx(before + change)
+
+    def test_apply_swap_consistency(self, figure1):
+        tracker = DegreeTracker(figure1, 0.4)
+        tracker.add_edge("u1", "u7")
+        predicted = tracker.swap_change(("u1", "u7"), ("u8", "u10"))
+        before = tracker.delta
+        tracker.apply_swap(("u1", "u7"), ("u8", "u10"))
+        assert tracker.delta == pytest.approx(before + predicted)
+
+
+class TestComputeDelta:
+    def test_empty_reduction(self, star4):
+        reduced = star4.edge_subgraph([])
+        assert compute_delta(star4, reduced, 0.5) == pytest.approx(0.5 * 2 * 4)
+
+    def test_full_graph(self, star4):
+        assert compute_delta(star4, star4, 0.5) == pytest.approx(0.5 * 2 * 4)
+
+    def test_missing_nodes_count_as_zero_degree(self, triangle):
+        reduced = Graph(edges=[(0, 1)])  # node 2 absent entirely
+        # expected degrees are 0.5*2 = 1: nodes 0/1 hit it, node 2 misses by 1
+        assert compute_delta(triangle, reduced, 0.5) == pytest.approx(1.0)
+
+    def test_invalid_ratio(self, triangle):
+        with pytest.raises(InvalidRatioError):
+            compute_delta(triangle, triangle, 1.5)

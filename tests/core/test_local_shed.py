@@ -1,0 +1,77 @@
+"""Tests for the local sparsification shedders."""
+
+import math
+
+import pytest
+
+from repro.core import BM2Shedder, JaccardShedder, LocalDegreeShedder, round_half_up
+from repro.graph import Graph, star_graph
+
+
+class TestLocalDegreeShedder:
+    def test_output_is_subgraph(self, medium_powerlaw):
+        result = LocalDegreeShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        for u, v in result.reduced.edges():
+            assert medium_powerlaw.has_edge(u, v)
+
+    def test_every_node_keeps_an_edge(self, medium_powerlaw):
+        """ceil(p·deg) >= 1 for any node with an edge: no isolates created."""
+        result = LocalDegreeShedder(seed=0).reduce(medium_powerlaw, 0.2)
+        for node in medium_powerlaw.nodes():
+            if medium_powerlaw.degree(node) > 0:
+                assert result.reduced.degree(node) >= 1
+
+    def test_per_node_quota_respected_for_star(self):
+        g = star_graph(10)
+        result = LocalDegreeShedder(seed=0).reduce(g, 0.3)
+        # hub nominates ceil(3) = 3, every leaf nominates its only edge,
+        # so all 10 edges survive via leaf nominations
+        assert result.reduced.num_edges == 10
+
+    def test_overshoots_global_budget(self, medium_powerlaw):
+        """Documented behaviour: retention ratio exceeds p."""
+        result = LocalDegreeShedder(seed=0).reduce(medium_powerlaw, 0.3)
+        assert result.achieved_ratio > 0.3
+
+    def test_delta_worse_than_bm2(self, medium_powerlaw):
+        local = LocalDegreeShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        bm2 = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert local.delta > bm2.delta
+
+    def test_deterministic(self, medium_powerlaw):
+        a = LocalDegreeShedder(seed=1).reduce(medium_powerlaw, 0.4).reduced
+        b = LocalDegreeShedder(seed=1).reduce(medium_powerlaw, 0.4).reduced
+        assert a == b
+
+
+class TestJaccardShedder:
+    def test_edge_budget_exact(self, medium_powerlaw):
+        result = JaccardShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert result.reduced.num_edges == round_half_up(0.4 * medium_powerlaw.num_edges)
+
+    def test_output_is_subgraph(self, medium_powerlaw):
+        result = JaccardShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        for u, v in result.reduced.edges():
+            assert medium_powerlaw.has_edge(u, v)
+
+    def test_triangle_edges_preferred(self):
+        """A triangle edge outranks a pendant edge."""
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (0, 3)])
+        result = JaccardShedder(seed=0).reduce(g, 0.75)  # keep 3 of 4
+        assert not result.reduced.has_edge(0, 3)
+
+    def test_preserves_more_triangles_than_bm2(self, medium_powerlaw):
+        from repro.graph import triangle_count
+
+        jaccard = JaccardShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        bm2 = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert triangle_count(jaccard.reduced) >= triangle_count(bm2.reduced)
+
+    def test_delta_worse_than_bm2(self, medium_powerlaw):
+        jaccard = JaccardShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        bm2 = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert jaccard.delta > bm2.delta
+
+    def test_stats_record_similarity_floor(self, medium_powerlaw):
+        result = JaccardShedder(seed=0).reduce(medium_powerlaw, 0.4)
+        assert 0.0 <= result.stats["min_kept_similarity"] <= 1.0

@@ -1,0 +1,83 @@
+"""Brute-force optimality checks on tiny graphs.
+
+For graphs small enough to enumerate every [P]-edge subset we can compute
+the true minimum Δ and measure how close CRR and BM2 land.  These tests
+pin down the *quality* of the heuristics, not just their invariants.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import BM2Shedder, CRRShedder, compute_delta, round_half_up
+from repro.graph import Graph, cycle_graph, paper_figure1_graph, star_graph
+
+
+def optimal_delta(graph: Graph, p: float) -> float:
+    """Minimum Δ over every subset of exactly [p·|E|] edges."""
+    edges = list(graph.edges())
+    target = round_half_up(p * len(edges))
+    best = float("inf")
+    for subset in itertools.combinations(edges, target):
+        reduced = graph.edge_subgraph(subset)
+        best = min(best, compute_delta(graph, reduced, p))
+    return best
+
+
+class TestCRROptimality:
+    def test_figure1_optimal(self):
+        graph = paper_figure1_graph()
+        best = optimal_delta(graph, 0.4)
+        result = CRRShedder(seed=0).reduce(graph, 0.4)
+        assert result.delta == pytest.approx(best)  # Example 1 hits the optimum
+
+    def test_cycle_optimal(self):
+        graph = cycle_graph(8)
+        best = optimal_delta(graph, 0.5)
+        result = CRRShedder(seed=0).reduce(graph, 0.5)
+        assert result.delta <= best + 1e-9 + 2.0
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_star_near_optimal(self, p):
+        graph = star_graph(7)
+        best = optimal_delta(graph, p)
+        result = CRRShedder(seed=1).reduce(graph, p)
+        # star: every equal-size subset gives the same delta
+        assert result.delta == pytest.approx(best)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_tiny_graphs_within_slack(self, seed):
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(7, 0.5, seed=seed)
+        if graph.num_edges < 3:
+            pytest.skip("degenerate draw")
+        p = 0.5
+        best = optimal_delta(graph, p)
+        result = CRRShedder(seed=seed, steps=500).reduce(graph, p)
+        # generous rewiring budget should land within one misplaced edge
+        # of the optimum (a single swap changes delta by at most 4)
+        assert result.delta <= best + 4.0 + 1e-9
+
+
+class TestBM2Optimality:
+    def test_figure1_optimal(self):
+        graph = paper_figure1_graph()
+        best = optimal_delta(graph, 0.4)
+        result = BM2Shedder(seed=0).reduce(graph, 0.4)
+        assert result.delta == pytest.approx(best)  # Example 2 hits the optimum
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_tiny_graphs_bounded_gap(self, seed):
+        """BM2 does not fix the edge count, so compare against the
+        unconstrained-size optimum with the rounding slack added."""
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(7, 0.5, seed=seed)
+        if graph.num_edges < 3:
+            pytest.skip("degenerate draw")
+        p = 0.5
+        best = optimal_delta(graph, p)
+        result = BM2Shedder(seed=seed).reduce(graph, p)
+        # each node's capacity rounding can cost at most 0.5
+        assert result.delta <= best + 0.5 * graph.num_nodes + 1e-9

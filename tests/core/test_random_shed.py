@@ -1,0 +1,64 @@
+"""Tests for the structure-blind ablation shedders."""
+
+import pytest
+
+from repro.core import DegreeProportionalShedder, RandomShedder, round_half_up
+from repro.errors import InvalidRatioError
+
+
+class TestRandomShedder:
+    def test_edge_budget(self, small_powerlaw):
+        result = RandomShedder(seed=0).reduce(small_powerlaw, 0.5)
+        assert result.reduced.num_edges == round_half_up(0.5 * small_powerlaw.num_edges)
+
+    def test_output_is_subgraph(self, small_powerlaw):
+        result = RandomShedder(seed=1).reduce(small_powerlaw, 0.3)
+        for u, v in result.reduced.edges():
+            assert small_powerlaw.has_edge(u, v)
+
+    def test_deterministic_by_seed(self, small_powerlaw):
+        a = RandomShedder(seed=7).reduce(small_powerlaw, 0.5).reduced
+        b = RandomShedder(seed=7).reduce(small_powerlaw, 0.5).reduced
+        assert a == b
+
+    def test_seeds_differ(self, small_powerlaw):
+        a = RandomShedder(seed=7).reduce(small_powerlaw, 0.5).reduced
+        b = RandomShedder(seed=8).reduce(small_powerlaw, 0.5).reduced
+        assert a != b
+
+    def test_invalid_ratio(self, triangle):
+        with pytest.raises(InvalidRatioError):
+            RandomShedder().reduce(triangle, -0.1)
+
+
+class TestDegreeProportionalShedder:
+    def test_edge_budget(self, small_powerlaw):
+        result = DegreeProportionalShedder(seed=0).reduce(small_powerlaw, 0.5)
+        assert result.reduced.num_edges == round_half_up(0.5 * small_powerlaw.num_edges)
+
+    def test_output_is_subgraph(self, small_powerlaw):
+        result = DegreeProportionalShedder(seed=0).reduce(small_powerlaw, 0.4)
+        for u, v in result.reduced.edges():
+            assert small_powerlaw.has_edge(u, v)
+
+    def test_protects_low_degree_nodes(self, medium_powerlaw):
+        """Weighted sampling isolates fewer nodes than uniform sampling."""
+        p = 0.3
+        uniform_isolated = 0
+        weighted_isolated = 0
+        for seed in range(3):
+            uniform = RandomShedder(seed=seed).reduce(medium_powerlaw, p).reduced
+            weighted = DegreeProportionalShedder(seed=seed).reduce(medium_powerlaw, p).reduced
+            uniform_isolated += sum(1 for n in uniform.nodes() if uniform.degree(n) == 0)
+            weighted_isolated += sum(1 for n in weighted.nodes() if weighted.degree(n) == 0)
+        assert weighted_isolated < uniform_isolated
+
+    def test_isolation_protection_costs_delta(self, medium_powerlaw):
+        """The weighting is biased: low-degree nodes keep nearly all their
+        edges (dis > 0) while hubs lose extra (dis < 0), so Δ is *worse*
+        than unbiased uniform sampling.  The weighted shedder buys isolation
+        protection, not degree preservation — the trade-off the paper's
+        degree-preserving objective is designed to avoid."""
+        uniform = RandomShedder(seed=2).reduce(medium_powerlaw, 0.3).delta
+        weighted = DegreeProportionalShedder(seed=2).reduce(medium_powerlaw, 0.3).delta
+        assert weighted > uniform

@@ -1,0 +1,76 @@
+"""Tests for the dataset registry and surrogates."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    available_datasets,
+    build_surrogate,
+    dataset_spec,
+    load_dataset,
+)
+from repro.errors import DatasetError
+from repro.graph import estimate_powerlaw_exponent
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert available_datasets() == [
+            "ca-grqc",
+            "ca-hepph",
+            "email-enron",
+            "com-livejournal",
+        ]
+
+    def test_specs_match_paper_table2(self):
+        assert dataset_spec("ca-grqc").paper_nodes == 5242
+        assert dataset_spec("ca-grqc").paper_edges == 14496
+        assert dataset_spec("ca-hepph").paper_nodes == 12008
+        assert dataset_spec("email-enron").paper_nodes == 36692
+        assert dataset_spec("com-livejournal").paper_nodes == 3_997_962
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("nope")
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+
+class TestSurrogates:
+    def test_deterministic(self):
+        a = load_dataset("ca-grqc", scale=0.05, seed=0)
+        b = load_dataset("ca-grqc", scale=0.05, seed=0)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("ca-grqc", scale=0.05, seed=0)
+        b = load_dataset("ca-grqc", scale=0.05, seed=1)
+        assert a != b
+
+    def test_scale_controls_size(self):
+        small = load_dataset("ca-grqc", scale=0.02, seed=0)
+        large = load_dataset("ca-grqc", scale=0.08, seed=0)
+        assert large.num_nodes > small.num_nodes
+        assert small.num_nodes == round(5242 * 0.02)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("ca-grqc", scale=0.0)
+
+    def test_minimum_size_floor(self):
+        g = build_surrogate(dataset_spec("ca-grqc"), scale=1e-9, seed=0)
+        assert g.num_nodes >= 5
+
+    @pytest.mark.parametrize("name", ["ca-grqc", "ca-hepph", "email-enron"])
+    def test_average_degree_matches_original(self, name):
+        """Surrogate average degree within 40% of the SNAP original's."""
+        spec = dataset_spec(name)
+        graph = load_dataset(name, scale=0.05 if name == "ca-grqc" else 0.02, seed=0)
+        original_avg = 2 * spec.paper_edges / spec.paper_nodes
+        assert graph.average_degree() == pytest.approx(original_avg, rel=0.4)
+
+    def test_heavy_tailed_degrees(self):
+        graph = load_dataset("ca-grqc", scale=0.1, seed=0)
+        alpha, n_tail = estimate_powerlaw_exponent(graph, d_min=3)
+        assert n_tail > 20
+        assert alpha < 5.0

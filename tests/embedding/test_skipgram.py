@@ -1,0 +1,64 @@
+"""Tests for the SGNS trainer."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import train_skipgram
+from repro.errors import EmbeddingError
+
+
+class TestTrainSkipgram:
+    def test_output_shape(self):
+        walks = [[0, 1, 2, 1, 0], [2, 1, 0, 1, 2]]
+        embeddings = train_skipgram(walks, num_nodes=3, dimensions=8, seed=0)
+        assert embeddings.shape == (3, 8)
+        assert np.isfinite(embeddings).all()
+
+    def test_cooccurring_nodes_more_similar(self):
+        """Two tight 'communities' in the corpus: embeddings should place
+        same-community nodes closer than cross-community ones."""
+        rng = np.random.default_rng(0)
+        walks = []
+        for _ in range(150):
+            walks.append(list(rng.permutation([0, 1, 2])))
+            walks.append(list(rng.permutation([3, 4, 5])))
+        embeddings = train_skipgram(
+            walks, num_nodes=6, dimensions=16, epochs=5, seed=1
+        )
+        normalized = embeddings / np.linalg.norm(embeddings, axis=1, keepdims=True)
+        same = normalized[0] @ normalized[1]
+        cross = normalized[0] @ normalized[4]
+        assert same > cross
+
+    def test_deterministic(self):
+        walks = [[0, 1, 2], [2, 1, 0]]
+        a = train_skipgram(walks, num_nodes=3, dimensions=4, seed=5)
+        b = train_skipgram(walks, num_nodes=3, dimensions=4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unseen_nodes_keep_initialisation(self):
+        walks = [[0, 1], [1, 0]]
+        embeddings = train_skipgram(walks, num_nodes=4, dimensions=4, seed=0)
+        # nodes 2,3 never updated: still within the small init range
+        assert np.abs(embeddings[2]).max() <= 0.5 / 4 + 1e-12
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(EmbeddingError):
+            train_skipgram([[0, 7]], num_nodes=3)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(EmbeddingError):
+            train_skipgram([], num_nodes=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"num_nodes": 3, "dimensions": 0},
+            {"num_nodes": 3, "window": 0},
+            {"num_nodes": 3, "negatives": -1},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(EmbeddingError):
+            train_skipgram([[0, 1]], **kwargs)

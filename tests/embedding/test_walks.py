@@ -1,0 +1,54 @@
+"""Tests for node2vec walk generation."""
+
+import pytest
+
+from repro.embedding import generate_walks
+from repro.errors import EmbeddingError
+from repro.graph import Graph, cycle_graph, path_graph
+
+
+class TestWalkGeneration:
+    def test_walk_count(self, cycle6):
+        walks = generate_walks(cycle6, num_walks=3, walk_length=5, seed=0)
+        assert len(walks) == 3 * 6
+
+    def test_walk_length(self, k5):
+        walks = generate_walks(k5, num_walks=1, walk_length=7, seed=0)
+        assert all(len(walk) == 7 for walk in walks)
+
+    def test_walks_follow_edges(self, cycle6):
+        from repro.graph import CSRAdjacency
+
+        csr = CSRAdjacency.from_graph(cycle6)
+        walks = generate_walks(cycle6, num_walks=2, walk_length=6, seed=1)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert cycle6.has_edge(csr.labels[a], csr.labels[b])
+
+    def test_isolated_nodes_skipped(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        walks = generate_walks(g, num_walks=2, walk_length=4, seed=0)
+        assert len(walks) == 2 * 2  # only the two connected nodes start walks
+
+    def test_deterministic_by_seed(self, cycle6):
+        a = generate_walks(cycle6, num_walks=2, walk_length=5, seed=3)
+        b = generate_walks(cycle6, num_walks=2, walk_length=5, seed=3)
+        assert a == b
+
+    def test_biased_walk_return_parameter(self):
+        """With huge p (no returns) on a path, walks cannot backtrack."""
+        g = path_graph(10)
+        walks = generate_walks(g, num_walks=5, walk_length=6, p=1e9, q=1.0, seed=0)
+        for walk in walks:
+            for i in range(2, len(walk)):
+                if walk[i] == walk[i - 2]:
+                    # returning is only allowed when forced (dead end)
+                    assert g.degree(walk[i - 1]) == 1
+
+    def test_validation(self, cycle6):
+        with pytest.raises(EmbeddingError):
+            generate_walks(cycle6, num_walks=0)
+        with pytest.raises(EmbeddingError):
+            generate_walks(cycle6, walk_length=0)
+        with pytest.raises(EmbeddingError):
+            generate_walks(cycle6, p=0)

@@ -1,0 +1,52 @@
+"""Statistical behaviour of random walks (distributional checks)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.embedding import generate_walks
+from repro.graph import CSRAdjacency, Graph, star_graph
+
+
+class TestWalkStatistics:
+    def test_uniform_walk_visits_proportional_to_degree(self):
+        """Stationary distribution of a simple random walk is deg/2m."""
+        g = star_graph(4)  # hub degree 4, leaves degree 1
+        walks = generate_walks(g, num_walks=40, walk_length=50, seed=0)
+        csr = CSRAdjacency.from_graph(g)
+        visits = Counter()
+        for walk in walks:
+            for node_id in walk:
+                visits[csr.labels[node_id]] += 1
+        total = sum(visits.values())
+        hub_share = visits[0] / total
+        # stationary share of the hub is 4/8 = 0.5
+        assert hub_share == pytest.approx(0.5, abs=0.05)
+
+    def test_walks_stay_in_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        walks = generate_walks(g, num_walks=5, walk_length=10, seed=1)
+        csr = CSRAdjacency.from_graph(g)
+        component_a = {0, 1, 2}
+        for walk in walks:
+            labels = {csr.labels[i] for i in walk}
+            assert labels <= component_a or labels <= {5, 6}
+
+    def test_high_q_keeps_walks_local(self):
+        """Large in-out parameter q biases walks toward the start's
+        neighbourhood (BFS-like), so fewer distinct nodes are visited."""
+        from repro.graph import powerlaw_cluster
+
+        g = powerlaw_cluster(150, 3, 0.5, seed=2)
+
+        def mean_distinct(q):
+            walks = generate_walks(g, num_walks=2, walk_length=25, q=q, seed=3)
+            return sum(len(set(w)) for w in walks) / len(walks)
+
+        assert mean_distinct(q=8.0) < mean_distinct(q=0.125)
+
+    def test_dead_end_truncates_walk(self):
+        g = Graph(edges=[(0, 1)])
+        walks = generate_walks(g, num_walks=1, walk_length=9, seed=0)
+        # path of length 9 bouncing between the two nodes — no truncation
+        assert all(len(w) == 9 for w in walks)

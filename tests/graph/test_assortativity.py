@@ -1,0 +1,41 @@
+"""Tests for degree assortativity, with networkx as the oracle."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import Graph, degree_assortativity, star_graph
+
+
+class TestDegreeAssortativity:
+    def test_star_is_disassortative(self):
+        assert degree_assortativity(star_graph(5)) == pytest.approx(-1.0)
+
+    def test_regular_graph_undefined(self, cycle6):
+        # all endpoint degrees equal -> zero variance -> nan
+        assert math.isnan(degree_assortativity(cycle6))
+
+    def test_too_few_edges(self):
+        assert math.isnan(degree_assortativity(Graph(edges=[(0, 1)])))
+
+    def test_networkx_oracle(self, small_powerlaw):
+        theirs = nx.degree_assortativity_coefficient(
+            nx.Graph(list(small_powerlaw.edges()))
+        )
+        ours = degree_assortativity(small_powerlaw)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_in_valid_range(self, medium_powerlaw):
+        value = degree_assortativity(medium_powerlaw)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_assortative_construction(self):
+        # two hubs joined to each other plus separate leaf pendants on a
+        # path: edges between like-degree nodes dominate
+        g = Graph(edges=[(0, 1), (0, 2), (1, 3), (2, 3)])  # 4-cycle: regular
+        assert math.isnan(degree_assortativity(g))
+        g.add_edge(0, 4)
+        # now degrees vary; networkx agrees
+        theirs = nx.degree_assortativity_coefficient(nx.Graph(list(g.edges())))
+        assert degree_assortativity(g) == pytest.approx(theirs, abs=1e-9)

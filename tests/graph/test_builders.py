@@ -1,0 +1,87 @@
+"""Tests for graph builders."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    from_adjacency,
+    from_degree_sequence_havel_hakimi,
+    from_edges,
+    relabel_to_integers,
+)
+from repro.graph.graph import Graph
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges([(1, 2), (2, 3)])
+        assert g.num_edges == 2
+
+    def test_with_isolates(self):
+        g = from_edges([(1, 2)], nodes=[9])
+        assert g.has_node(9)
+        assert g.degree(9) == 0
+
+
+class TestFromAdjacency:
+    def test_one_sided_listing(self):
+        g = from_adjacency({1: [2, 3], 2: [], 3: []})
+        assert g.num_edges == 2
+        assert g.has_edge(2, 1)
+
+    def test_two_sided_listing_same_graph(self):
+        one = from_adjacency({1: [2], 2: []})
+        two = from_adjacency({1: [2], 2: [1]})
+        assert one == two
+
+    def test_preserves_isolates(self):
+        g = from_adjacency({1: [], 2: []})
+        assert g.num_nodes == 2
+        assert g.num_edges == 0
+
+
+class TestHavelHakimi:
+    def test_regular_sequence(self):
+        g = from_degree_sequence_havel_hakimi([2, 2, 2])
+        assert sorted(g.degrees().values()) == [2, 2, 2]
+
+    def test_star_sequence(self):
+        g = from_degree_sequence_havel_hakimi([3, 1, 1, 1])
+        assert sorted(g.degrees().values(), reverse=True) == [3, 1, 1, 1]
+
+    def test_zero_sequence(self):
+        g = from_degree_sequence_havel_hakimi([0, 0])
+        assert g.num_edges == 0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(GraphError):
+            from_degree_sequence_havel_hakimi([1, 1, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            from_degree_sequence_havel_hakimi([-1, 1])
+
+    def test_not_graphical_rejected(self):
+        # max degree exceeds n-1
+        with pytest.raises(GraphError):
+            from_degree_sequence_havel_hakimi([4, 1, 1, 2])
+
+    def test_larger_sequence_realised_exactly(self):
+        degrees = [5, 4, 4, 3, 3, 3, 2, 2, 2, 2]
+        g = from_degree_sequence_havel_hakimi(degrees)
+        assert sorted(g.degrees().values(), reverse=True) == sorted(degrees, reverse=True)
+
+
+class TestRelabel:
+    def test_relabel_to_integers(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        relabeled, mapping = relabel_to_integers(g)
+        assert set(relabeled.nodes()) == {0, 1, 2}
+        assert relabeled.num_edges == 2
+        assert mapping["a"] == 0  # insertion order preserved
+
+    def test_relabel_preserves_structure(self, figure1):
+        relabeled, mapping = relabel_to_integers(figure1)
+        assert relabeled.num_edges == figure1.num_edges
+        for u, v in figure1.edges():
+            assert relabeled.has_edge(mapping[u], mapping[v])

@@ -1,0 +1,125 @@
+"""Tests for Brandes betweenness centrality, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    edge_betweenness,
+    node_betweenness,
+    path_graph,
+    star_graph,
+    top_edges_by_betweenness,
+)
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestNodeBetweenness:
+    def test_path_center_is_max(self, path5):
+        centrality = node_betweenness(path5, normalized=False)
+        assert centrality[2] == max(centrality.values())
+        assert centrality[0] == 0.0
+
+    def test_star_hub(self, star4):
+        centrality = node_betweenness(star4, normalized=False)
+        # hub sits on all C(4,2)=6 leaf pairs
+        assert centrality[0] == pytest.approx(6.0)
+        assert centrality[1] == 0.0
+
+    def test_complete_graph_all_zero(self, k5):
+        centrality = node_betweenness(k5, normalized=False)
+        assert all(value == pytest.approx(0.0) for value in centrality.values())
+
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_networkx_oracle(self, small_powerlaw, normalized):
+        ours = node_betweenness(small_powerlaw, normalized=normalized)
+        theirs = nx.betweenness_centrality(
+            _to_networkx(small_powerlaw), normalized=normalized
+        )
+        for node in small_powerlaw.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_disconnected_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        ours = node_betweenness(g, normalized=False)
+        theirs = nx.betweenness_centrality(_to_networkx(g), normalized=False)
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node])
+
+    def test_sampled_estimator_close_to_exact(self, medium_powerlaw):
+        exact = node_betweenness(medium_powerlaw, normalized=True)
+        sampled = node_betweenness(
+            medium_powerlaw, normalized=True, num_sources=150, seed=1
+        )
+        # Compare the two estimates on the clearly-central nodes.
+        top = sorted(exact, key=exact.get, reverse=True)[:5]
+        for node in top:
+            assert sampled[node] == pytest.approx(exact[node], rel=0.6, abs=0.01)
+
+    def test_num_sources_validation(self, triangle):
+        with pytest.raises(ValueError):
+            node_betweenness(triangle, num_sources=0)
+
+
+class TestEdgeBetweenness:
+    def test_bridge_dominates(self):
+        # two triangles joined by a bridge
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+        centrality = edge_betweenness(g, normalized=False)
+        assert max(centrality, key=centrality.get) == g.canonical_edge(2, 3)
+
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_networkx_oracle(self, small_powerlaw, normalized):
+        ours = edge_betweenness(small_powerlaw, normalized=normalized)
+        theirs = nx.edge_betweenness_centrality(
+            _to_networkx(small_powerlaw), normalized=normalized
+        )
+        for (u, v), value in theirs.items():
+            key = small_powerlaw.canonical_edge(u, v)
+            assert ours[key] == pytest.approx(value, abs=1e-9)
+
+    def test_all_edges_covered(self, figure1):
+        centrality = edge_betweenness(figure1)
+        assert set(centrality) == set(figure1.edges())
+
+    def test_paper_figure1_ranking(self, figure1):
+        """The worked example: (u7,u9) is the most important edge."""
+        centrality = edge_betweenness(figure1, normalized=False)
+        best = max(centrality, key=centrality.get)
+        assert set(best) == {"u7", "u9"}
+        assert centrality[best] == pytest.approx(28.0)
+
+
+class TestTopEdges:
+    def test_count_respected(self, figure1):
+        assert len(top_edges_by_betweenness(figure1, 4)) == 4
+
+    def test_count_zero(self, figure1):
+        assert top_edges_by_betweenness(figure1, 0) == []
+
+    def test_negative_count_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            top_edges_by_betweenness(figure1, -1)
+
+    def test_top_edge_is_global_max(self, figure1):
+        top = top_edges_by_betweenness(figure1, 1, tie_seed=0)
+        assert set(top[0]) == {"u7", "u9"}
+
+    def test_ties_broken_by_seed(self, star4):
+        # all star edges tie; different seeds may pick different subsets
+        selections = {
+            frozenset(top_edges_by_betweenness(star4, 2, tie_seed=seed))
+            for seed in range(20)
+        }
+        assert len(selections) > 1
+
+    def test_selection_is_subset_of_edges(self, small_powerlaw):
+        top = top_edges_by_betweenness(small_powerlaw, 30, tie_seed=3)
+        for u, v in top:
+            assert small_powerlaw.has_edge(u, v)

@@ -1,0 +1,74 @@
+"""Tests for closeness and eigenvector centrality (networkx oracle)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    closeness_centrality,
+    eigenvector_centrality,
+    star_graph,
+)
+
+
+def _to_networkx(graph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestCloseness:
+    def test_star_hub_highest(self, star4):
+        centrality = closeness_centrality(star4)
+        assert centrality[0] == max(centrality.values())
+
+    def test_networkx_oracle(self, small_powerlaw):
+        theirs = nx.closeness_centrality(_to_networkx(small_powerlaw))
+        ours = closeness_centrality(small_powerlaw)
+        for node in small_powerlaw.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_disconnected_oracle(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        theirs = nx.closeness_centrality(_to_networkx(g))
+        ours = closeness_centrality(g)
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_isolated_node_zero(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        assert closeness_centrality(g)[2] == 0.0
+
+    def test_sampled_subset(self, small_powerlaw):
+        sampled = closeness_centrality(small_powerlaw, num_sources=20, seed=0)
+        assert len(sampled) == 20
+        full = closeness_centrality(small_powerlaw)
+        for node, value in sampled.items():
+            assert value == pytest.approx(full[node])
+
+
+class TestEigenvector:
+    def test_star_hub_highest(self):
+        centrality = eigenvector_centrality(star_graph(6))
+        assert centrality[0] == max(centrality.values())
+
+    def test_unit_norm(self, small_powerlaw):
+        import numpy as np
+
+        centrality = eigenvector_centrality(small_powerlaw)
+        norm = np.sqrt(sum(v * v for v in centrality.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_networkx_oracle(self, small_powerlaw):
+        theirs = nx.eigenvector_centrality_numpy(_to_networkx(small_powerlaw))
+        ours = eigenvector_centrality(small_powerlaw)
+        for node in small_powerlaw.nodes():
+            assert abs(ours[node]) == pytest.approx(abs(theirs[node]), abs=1e-5)
+
+    def test_empty_graph(self):
+        assert eigenvector_centrality(Graph()) == {}
+
+    def test_edgeless_graph_zero(self):
+        centrality = eigenvector_centrality(Graph(nodes=[1, 2]))
+        assert centrality == {1: 0.0, 2: 0.0}

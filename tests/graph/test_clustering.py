@@ -1,0 +1,84 @@
+"""Tests for clustering coefficients, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    average_clustering,
+    clustering_by_degree,
+    clustering_coefficients,
+    local_clustering,
+    triangle_count,
+)
+
+
+class TestLocalClustering:
+    def test_triangle_is_one(self, triangle):
+        assert local_clustering(triangle, 0) == pytest.approx(1.0)
+
+    def test_star_hub_is_zero(self, star4):
+        assert local_clustering(star4, 0) == 0.0
+
+    def test_low_degree_is_zero(self, path5):
+        assert local_clustering(path5, 0) == 0.0
+
+    def test_missing_node(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            local_clustering(triangle, 9)
+
+    def test_half_connected_neighborhood(self):
+        # 0 connects to 1,2,3; only (1,2) present among them -> c = 1/3
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+    def test_networkx_oracle(self, small_powerlaw):
+        theirs = nx.clustering(nx.Graph(list(small_powerlaw.edges())))
+        ours = clustering_coefficients(small_powerlaw)
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value, abs=1e-12)
+
+
+class TestAverageClustering:
+    def test_complete_graph(self, k5):
+        assert average_clustering(k5) == pytest.approx(1.0)
+
+    def test_empty_graph(self, empty_graph):
+        assert average_clustering(empty_graph) == 0.0
+
+    def test_networkx_oracle(self, small_powerlaw):
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        nx_graph.add_nodes_from(small_powerlaw.nodes())
+        assert average_clustering(small_powerlaw) == pytest.approx(
+            nx.average_clustering(nx_graph), abs=1e-12
+        )
+
+
+class TestClusteringByDegree:
+    def test_excludes_low_degrees(self, path5):
+        curve = clustering_by_degree(path5)
+        assert 1 not in curve
+
+    def test_complete_graph_curve(self, k5):
+        assert clustering_by_degree(k5) == {4: pytest.approx(1.0)}
+
+    def test_keys_sorted(self, small_powerlaw):
+        keys = list(clustering_by_degree(small_powerlaw))
+        assert keys == sorted(keys)
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_complete_graph(self, k5):
+        assert triangle_count(k5) == 10  # C(5,3)
+
+    def test_tree_has_none(self, path5):
+        assert triangle_count(path5) == 0
+
+    def test_networkx_oracle(self, small_powerlaw):
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        expected = sum(nx.triangles(nx_graph).values()) // 3
+        assert triangle_count(small_powerlaw) == expected

@@ -1,0 +1,75 @@
+"""Tests for k-core decomposition, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    core_numbers,
+    edge_core_numbers,
+    k_core,
+    path_graph,
+)
+
+
+class TestCoreNumbers:
+    def test_path(self):
+        cores = core_numbers(path_graph(5))
+        assert all(value == 1 for value in cores.values())
+
+    def test_complete_graph(self):
+        cores = core_numbers(complete_graph(5))
+        assert all(value == 4 for value in cores.values())
+
+    def test_isolated_node(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        cores = core_numbers(g)
+        assert cores[2] == 0
+        assert cores[0] == 1
+
+    def test_triangle_with_pendant(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        cores = core_numbers(g)
+        assert cores[3] == 1
+        assert cores[0] == cores[1] == cores[2] == 2
+
+    def test_networkx_oracle(self, small_powerlaw):
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        nx_graph.add_nodes_from(small_powerlaw.nodes())
+        theirs = nx.core_number(nx_graph)
+        ours = core_numbers(small_powerlaw)
+        assert ours == theirs
+
+    def test_networkx_oracle_medium(self, medium_powerlaw):
+        nx_graph = nx.Graph(list(medium_powerlaw.edges()))
+        nx_graph.add_nodes_from(medium_powerlaw.nodes())
+        assert core_numbers(medium_powerlaw) == nx.core_number(nx_graph)
+
+
+class TestKCore:
+    def test_k_zero_is_whole_graph(self, small_powerlaw):
+        assert k_core(small_powerlaw, 0) == small_powerlaw
+
+    def test_k_core_min_degree(self, medium_powerlaw):
+        sub = k_core(medium_powerlaw, 2)
+        if sub.num_nodes:
+            assert min(sub.degree(n) for n in sub.nodes()) >= 2
+
+    def test_too_large_k_empty(self, path5):
+        assert k_core(path5, 5).num_nodes == 0
+
+    def test_negative_k_rejected(self, path5):
+        with pytest.raises(ValueError):
+            k_core(path5, -1)
+
+
+class TestEdgeCoreNumbers:
+    def test_min_of_endpoints(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        cores = edge_core_numbers(g)
+        assert cores[g.canonical_edge(2, 3)] == 1
+        assert cores[g.canonical_edge(0, 1)] == 2
+
+    def test_covers_all_edges(self, small_powerlaw):
+        assert set(edge_core_numbers(small_powerlaw)) == set(small_powerlaw.edges())

@@ -1,0 +1,47 @@
+"""Tests for the CSR adjacency export."""
+
+import numpy as np
+
+from repro.graph import CSRAdjacency, Graph, star_graph
+
+
+class TestCSRAdjacency:
+    def test_shapes(self, triangle):
+        csr = CSRAdjacency.from_graph(triangle)
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 3
+        assert csr.indptr.shape == (4,)
+        assert csr.indices.shape == (6,)
+
+    def test_empty_graph(self):
+        csr = CSRAdjacency.from_graph(Graph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+
+    def test_neighbors_sorted(self):
+        g = Graph(edges=[(0, 3), (0, 1), (0, 2)])
+        csr = CSRAdjacency.from_graph(g)
+        hub = csr.index_of[0]
+        assert list(csr.neighbors(hub)) == sorted(csr.neighbors(hub))
+
+    def test_label_round_trip(self):
+        g = Graph(edges=[("x", "y"), ("y", "z")])
+        csr = CSRAdjacency.from_graph(g)
+        for label in g.nodes():
+            assert csr.labels[csr.index_of[label]] == label
+
+    def test_degree_array_matches_graph(self, figure1):
+        csr = CSRAdjacency.from_graph(figure1)
+        degrees = csr.degree_array()
+        for label, index in csr.index_of.items():
+            assert degrees[index] == figure1.degree(label)
+
+    def test_star_structure(self):
+        csr = CSRAdjacency.from_graph(star_graph(5))
+        assert csr.degree_array().max() == 5
+        np.testing.assert_array_equal(np.sort(csr.neighbors(0)), np.arange(1, 6))
+
+    def test_isolated_node_has_empty_slice(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        csr = CSRAdjacency.from_graph(g)
+        assert csr.neighbors(csr.index_of[2]).size == 0

@@ -1,0 +1,94 @@
+"""Tests for degree statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    degree_array,
+    degree_ccdf,
+    degree_distribution,
+    degree_histogram,
+    estimate_powerlaw_exponent,
+    max_degree,
+    star_graph,
+)
+
+
+class TestDegreeArray:
+    def test_matches_graph(self, figure1):
+        array = degree_array(figure1)
+        for i, node in enumerate(figure1.nodes()):
+            assert array[i] == figure1.degree(node)
+
+    def test_empty(self, empty_graph):
+        assert degree_array(empty_graph).size == 0
+
+
+class TestHistogram:
+    def test_star(self, star4):
+        assert degree_histogram(star4) == {1: 4, 4: 1}
+
+    def test_cap_aggregates_tail(self, star4):
+        assert degree_histogram(star4, cap=2) == {1: 4, 2: 1}
+
+    def test_keys_sorted(self, small_powerlaw):
+        keys = list(degree_histogram(small_powerlaw))
+        assert keys == sorted(keys)
+
+    def test_counts_sum_to_n(self, small_powerlaw):
+        assert sum(degree_histogram(small_powerlaw).values()) == small_powerlaw.num_nodes
+
+
+class TestDistribution:
+    def test_sums_to_one(self, small_powerlaw):
+        assert sum(degree_distribution(small_powerlaw).values()) == pytest.approx(1.0)
+
+    def test_empty(self, empty_graph):
+        assert degree_distribution(empty_graph) == {}
+
+    def test_star_fractions(self, star4):
+        distribution = degree_distribution(star4)
+        assert distribution[1] == pytest.approx(0.8)
+        assert distribution[4] == pytest.approx(0.2)
+
+
+class TestCCDF:
+    def test_starts_at_one(self, small_powerlaw):
+        ccdf = degree_ccdf(small_powerlaw)
+        assert ccdf[min(ccdf)] == pytest.approx(1.0)
+
+    def test_non_increasing(self, small_powerlaw):
+        ccdf = degree_ccdf(small_powerlaw)
+        values = [ccdf[k] for k in sorted(ccdf)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_empty(self, empty_graph):
+        assert degree_ccdf(empty_graph) == {}
+
+
+class TestMaxDegree:
+    def test_star(self, star4):
+        assert max_degree(star4) == 4
+
+    def test_empty(self, empty_graph):
+        assert max_degree(empty_graph) == 0
+
+
+class TestPowerlawExponent:
+    def test_heavy_tail_detected(self, medium_powerlaw):
+        alpha, n_tail = estimate_powerlaw_exponent(medium_powerlaw)
+        assert n_tail > 0
+        assert 1.5 < alpha < 5.0
+
+    def test_empty_tail(self):
+        g = Graph(edges=[(0, 1)])
+        alpha, n_tail = estimate_powerlaw_exponent(g, d_min=5)
+        assert n_tail == 0
+        assert math.isnan(alpha)
+
+    def test_invalid_d_min(self, star4):
+        with pytest.raises(ValueError):
+            estimate_powerlaw_exponent(star4, d_min=0)

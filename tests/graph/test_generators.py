@@ -1,0 +1,196 @@
+"""Tests for graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    average_clustering,
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    estimate_powerlaw_exponent,
+    is_connected,
+    paper_figure1_graph,
+    path_graph,
+    powerlaw_cluster,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = erdos_renyi(50, 0.1, seed=0)
+        assert g.num_nodes == 50
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi(20, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_deterministic_by_seed(self):
+        assert erdos_renyi(30, 0.2, seed=5) == erdos_renyi(30, 0.2, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(30, 0.2, seed=5) != erdos_renyi(30, 0.2, seed=6)
+
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(100, 0.1, seed=1)
+        expected = 0.1 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.35 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        # star seed gives m edges; each later node adds m
+        assert g.num_edges == 3 + 3 * (100 - 4)
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(80, 2, seed=1))
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 3, seed=2)
+        alpha, n_tail = estimate_powerlaw_exponent(g, d_min=4)
+        assert n_tail > 50
+        assert alpha < 4.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert all(g.degree(node) == 4 for node in g.nodes())
+        assert g.num_edges == 40
+
+    def test_rewired_keeps_edge_count(self):
+        g = watts_strogatz(50, 4, 0.3, seed=1)
+        assert g.num_edges == 100
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(20, 3, 0.1)
+
+    def test_n_not_greater_than_k_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(4, 4, 0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(20, 4, 2.0)
+
+
+class TestPowerlawCluster:
+    def test_edge_count(self):
+        g = powerlaw_cluster(100, 3, 0.5, seed=0)
+        assert g.num_edges == 3 + 3 * (100 - 4)
+
+    def test_higher_triangle_probability_more_clustering(self):
+        low = powerlaw_cluster(300, 3, 0.0, seed=3)
+        high = powerlaw_cluster(300, 3, 0.9, seed=3)
+        assert average_clustering(high) > average_clustering(low)
+
+    def test_deterministic(self):
+        assert powerlaw_cluster(80, 2, 0.5, seed=9) == powerlaw_cluster(80, 2, 0.5, seed=9)
+
+    def test_invalid_triangle_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster(10, 2, 1.5)
+
+
+class TestChungLu:
+    def test_respects_expected_degrees_on_average(self):
+        weights = [10.0] * 20 + [2.0] * 180
+        g = chung_lu(weights, seed=0)
+        heavy = sum(g.degree(i) for i in range(20)) / 20
+        light = sum(g.degree(i) for i in range(20, 200)) / 180
+        assert heavy > 2 * light
+
+    def test_zero_weights_isolated(self):
+        g = chung_lu([0.0, 0.0, 5.0, 5.0], seed=1)
+        assert g.degree(0) == 0
+        assert g.degree(1) == 0
+
+    def test_empty_weights(self):
+        assert chung_lu([]).num_nodes == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu([1.0, -1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu([[1.0], [2.0]])
+
+
+class TestSBM:
+    def test_block_structure(self):
+        g = stochastic_block_model(
+            [30, 30], [[0.5, 0.01], [0.01, 0.5]], seed=0
+        )
+        internal = sum(1 for u, v in g.edges() if (u < 30) == (v < 30))
+        external = g.num_edges - internal
+        assert internal > 5 * external
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([5, 5], [[0.5, 0.2], [0.1, 0.5]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([5, 5], [[0.5]])
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([5], [[1.5]])
+
+
+class TestDeterministicGraphs:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(node) == 2 for node in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.num_edges == 6
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_figure1_matches_paper(self):
+        g = paper_figure1_graph()
+        assert g.num_nodes == 11
+        assert g.num_edges == 11
+        assert g.degree("u7") == 7
+        assert g.degree("u9") == 3
+        assert g.degree("u1") == 1
+        assert g.degree("u8") == 2

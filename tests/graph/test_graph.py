@@ -1,0 +1,191 @@
+"""Unit tests for the core Graph data structure."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self, empty_graph):
+        assert empty_graph.num_nodes == 0
+        assert empty_graph.num_edges == 0
+        assert list(empty_graph.nodes()) == []
+        assert list(empty_graph.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_isolated_nodes_via_constructor(self):
+        g = Graph(edges=[(1, 2)], nodes=[5, 6])
+        assert g.num_nodes == 4
+        assert g.degree(5) == 0
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_string_node_labels(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.has_edge("a", "b")
+        assert g.degree("a") == 1
+
+
+class TestAddRemove:
+    def test_add_node_returns_true_once(self):
+        g = Graph()
+        assert g.add_node(7) is True
+        assert g.add_node(7) is False
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_add_existing_edge_returns_false(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.add_edge(2, 1) is False
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(3, 3)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert g.num_edges == 1
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_discard_edge(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.discard_edge(1, 2) is True
+        assert g.discard_edge(1, 2) is False
+        assert g.num_edges == 0
+
+    def test_remove_node_removes_incident_edges(self, star4):
+        star4.remove_node(0)
+        assert star4.num_nodes == 4
+        assert star4.num_edges == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(1)
+
+
+class TestInspection:
+    def test_degree(self, star4):
+        assert star4.degree(0) == 4
+        assert star4.degree(1) == 1
+
+    def test_degree_missing_node(self, star4):
+        with pytest.raises(NodeNotFoundError):
+            star4.degree(99)
+
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors(0)) == [1, 2]
+
+    def test_neighbors_missing_node(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            list(triangle.neighbors(42))
+
+    def test_edges_canonical_and_unique(self):
+        g = Graph(edges=[(2, 1), (3, 2), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+        # canonical orientation: earlier-inserted endpoint first
+        assert (2, 1) in edges  # node 2 inserted before node 1
+
+    def test_canonical_edge_orientation_stable(self):
+        g = Graph(edges=[(5, 9)])
+        assert g.canonical_edge(9, 5) == (5, 9)
+        assert g.canonical_edge(5, 9) == (5, 9)
+
+    def test_canonical_edge_missing_node(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.canonical_edge(1, 77)
+
+    def test_degrees_mapping(self, star4):
+        degrees = star4.degrees()
+        assert degrees[0] == 4
+        assert all(degrees[leaf] == 1 for leaf in range(1, 5))
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self, empty_graph):
+        assert empty_graph.average_degree() == 0.0
+
+    def test_density(self, k5):
+        assert k5.density() == pytest.approx(1.0)
+
+    def test_density_trivial(self):
+        assert Graph(nodes=[1]).density() == 0.0
+
+    def test_len_iter_contains(self, triangle):
+        assert len(triangle) == 3
+        assert set(triangle) == {0, 1, 2}
+        assert 1 in triangle
+        assert 9 not in triangle
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+        assert clone.num_nodes == 3
+
+    def test_copy_equals_original(self, figure1):
+        assert figure1.copy() == figure1
+
+    def test_edge_subgraph_keeps_all_nodes(self, figure1):
+        sub = figure1.edge_subgraph([("u1", "u7")])
+        assert sub.num_nodes == figure1.num_nodes
+        assert sub.num_edges == 1
+
+    def test_edge_subgraph_endpoint_only(self, figure1):
+        sub = figure1.edge_subgraph([("u1", "u7")], keep_all_nodes=False)
+        assert sub.num_nodes == 2
+
+    def test_edge_subgraph_rejects_foreign_edges(self, triangle):
+        with pytest.raises(EdgeNotFoundError):
+            triangle.edge_subgraph([(0, 99)])
+
+    def test_node_subgraph(self, k5):
+        sub = k5.node_subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_node_subgraph_missing_node(self, k5):
+        with pytest.raises(NodeNotFoundError):
+            k5.node_subgraph([0, 77])
+
+    def test_equality_structural(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+
+    def test_inequality_different_edges(self):
+        a = Graph(edges=[(1, 2)])
+        b = Graph(edges=[(1, 3)])
+        assert a != b
+
+    def test_equality_other_type(self, triangle):
+        assert triangle != "not a graph"
+
+    def test_repr(self, triangle):
+        assert "num_nodes=3" in repr(triangle)
+        assert "num_edges=3" in repr(triangle)

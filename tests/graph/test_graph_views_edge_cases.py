@@ -1,0 +1,90 @@
+"""Additional edge-case coverage for the Graph structure.
+
+Complements test_graph.py with the corners a long-lived library gets bug
+reports about: churn-heavy workloads, mixed label types, and re-adding
+removed structure.
+"""
+
+import pytest
+
+from repro.errors import SelfLoopError
+from repro.graph import Graph
+
+
+class TestChurn:
+    def test_add_remove_add_same_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert g.add_edge(1, 2) is True
+        assert g.num_edges == 1
+
+    def test_remove_node_then_readd(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_node(2)
+        assert g.num_edges == 0
+        g.add_edge(1, 2)
+        assert g.degree(2) == 1
+
+    def test_canonical_orientation_after_readd(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_node(1)
+        g.add_edge(2, 1)  # node 1 is now inserted after node 2
+        assert g.canonical_edge(1, 2) == (2, 1)
+
+    def test_num_edges_after_heavy_churn(self):
+        g = Graph()
+        for i in range(50):
+            g.add_edge(i, i + 1)
+        for i in range(0, 50, 2):
+            g.remove_edge(i, i + 1)
+        for i in range(0, 50, 2):
+            g.add_edge(i, i + 1)
+        assert g.num_edges == 50
+
+    def test_degree_consistency_after_node_removal(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        g.remove_node(0)
+        assert g.degree(1) == 1
+        assert g.degree(2) == 1
+
+
+class TestMixedLabels:
+    def test_int_and_string_coexist(self):
+        g = Graph(edges=[(1, "a"), ("a", 2)])
+        assert g.degree("a") == 2
+        assert g.has_edge(2, "a")
+
+    def test_tuple_labels(self):
+        g = Graph(edges=[((0, 0), (0, 1))])
+        assert g.has_node((0, 0))
+        assert g.num_edges == 1
+
+    def test_bool_and_int_label_collision(self):
+        # True == 1 in Python: they are the same node, by design of dicts.
+        g = Graph()
+        g.add_node(1)
+        assert g.add_node(True) is False
+
+    def test_self_loop_via_equal_labels(self):
+        g = Graph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, True)  # 1 == True
+
+
+class TestSubgraphEdgeCases:
+    def test_empty_edge_subgraph_keeps_nodes(self, figure1):
+        sub = figure1.edge_subgraph([])
+        assert sub.num_nodes == 11
+        assert sub.num_edges == 0
+
+    def test_node_subgraph_of_everything(self, figure1):
+        assert figure1.node_subgraph(figure1.nodes()) == figure1
+
+    def test_node_subgraph_empty_selection(self, figure1):
+        sub = figure1.node_subgraph([])
+        assert sub.num_nodes == 0
+
+    def test_edge_subgraph_duplicate_edges_collapse(self, triangle):
+        sub = triangle.edge_subgraph([(0, 1), (1, 0)])
+        assert sub.num_edges == 1

@@ -1,0 +1,84 @@
+"""Tests for graph I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, read_edge_list, read_json, write_edge_list, write_json
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "g.txt"
+        write_edge_list(figure1, path)
+        loaded = read_edge_list(path)
+        assert loaded == figure1
+
+    def test_header_written(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path, header="my graph")
+        content = path.read_text()
+        assert content.startswith("# my graph")
+        assert "# nodes: 3 edges: 3" in content
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n1 2\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_integer_nodes_parsed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1\t2\n")
+        g = read_edge_list(path)
+        assert g.has_edge(1, 2)
+        assert not g.has_node("1")
+
+    def test_string_nodes_preserved(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\n")
+        g = read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_duplicate_lines_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 1\n1 2\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("justonetoken\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestJSON:
+    def test_round_trip_with_isolates(self, tmp_path):
+        g = Graph(edges=[(1, 2)], nodes=[5])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert loaded == g
+        assert loaded.has_node(5)
+
+    def test_round_trip_figure1(self, tmp_path, figure1):
+        path = tmp_path / "g.json"
+        write_json(figure1, path)
+        assert read_json(path) == figure1
+
+    def test_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a graph"}')
+        with pytest.raises(GraphError):
+            read_json(path)
+
+    def test_malformed_edge_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [1, 2], "edges": [[1, 2, 3]]}')
+        with pytest.raises(GraphError):
+            read_json(path)

@@ -1,0 +1,95 @@
+"""Tests for greedy b-matching."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    greedy_b_matching,
+    is_b_matching,
+    is_maximal_b_matching,
+    paper_figure1_graph,
+    star_graph,
+)
+
+
+class TestGreedyBMatching:
+    def test_respects_capacities(self, k5):
+        capacities = {node: 2 for node in k5.nodes()}
+        matched = greedy_b_matching(k5, capacities)
+        assert is_b_matching(k5, matched, capacities)
+
+    def test_is_maximal(self, k5):
+        capacities = {node: 2 for node in k5.nodes()}
+        matched = greedy_b_matching(k5, capacities)
+        assert is_maximal_b_matching(k5, matched, capacities)
+
+    def test_zero_capacity_keeps_nothing(self, star4):
+        capacities = dict.fromkeys(star4.nodes(), 0)
+        assert greedy_b_matching(star4, capacities) == []
+
+    def test_star_hub_capacity_limits(self):
+        g = star_graph(5)
+        capacities = {0: 2, **{leaf: 1 for leaf in range(1, 6)}}
+        matched = greedy_b_matching(g, capacities)
+        assert len(matched) == 2
+
+    def test_paper_figure1_matching(self):
+        """BM2 phase 1 on the worked example selects {(u7,u9), (u8,u10)}."""
+        g = paper_figure1_graph()
+        capacities = {node: round(0.4 * g.degree(node)) for node in g.nodes()}
+        matched = greedy_b_matching(g, capacities)
+        matched_sets = {frozenset(edge) for edge in matched}
+        assert frozenset(("u7", "u9")) in matched_sets
+        assert len(matched) == 2
+        # the second edge covers u8 plus one of u10/u11
+        other = next(e for e in matched_sets if e != frozenset(("u7", "u9")))
+        assert "u8" in other
+
+    def test_missing_capacity_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            greedy_b_matching(triangle, {0: 1, 1: 1})
+
+    def test_negative_capacity_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            greedy_b_matching(triangle, {0: 1, 1: 1, 2: -1})
+
+    def test_explicit_edge_order(self, triangle):
+        capacities = dict.fromkeys(triangle.nodes(), 1)
+        matched = greedy_b_matching(triangle, capacities, edge_order=[(1, 2), (0, 1), (2, 0)])
+        assert matched[0] == (1, 2)
+        assert len(matched) == 1
+
+    def test_edge_order_with_non_edge_rejected(self, path5):
+        with pytest.raises(GraphError):
+            greedy_b_matching(path5, dict.fromkeys(path5.nodes(), 1), edge_order=[(0, 4)])
+
+    def test_shuffle_seed_changes_result(self):
+        g = star_graph(8)
+        capacities = {0: 1, **{leaf: 1 for leaf in range(1, 9)}}
+        picks = {
+            frozenset(greedy_b_matching(g, capacities, shuffle_seed=seed)[0])
+            for seed in range(10)
+        }
+        assert len(picks) > 1
+
+
+class TestValidity:
+    def test_is_b_matching_detects_overload(self, k5):
+        capacities = dict.fromkeys(k5.nodes(), 1)
+        assert not is_b_matching(k5, [(0, 1), (0, 2)], capacities)
+
+    def test_is_b_matching_rejects_non_edges(self, path5):
+        with pytest.raises(GraphError):
+            is_b_matching(path5, [(0, 3)], dict.fromkeys(path5.nodes(), 2))
+
+    def test_is_b_matching_rejects_duplicates(self, triangle):
+        with pytest.raises(GraphError):
+            is_b_matching(triangle, [(0, 1), (1, 0)], dict.fromkeys(triangle.nodes(), 2))
+
+    def test_not_maximal_when_edge_addable(self, k5):
+        capacities = dict.fromkeys(k5.nodes(), 2)
+        assert not is_maximal_b_matching(k5, [(0, 1)], capacities)
+
+    def test_empty_is_maximal_under_zero_capacity(self, triangle):
+        assert is_maximal_b_matching(triangle, [], dict.fromkeys(triangle.nodes(), 0))

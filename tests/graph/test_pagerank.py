@@ -1,0 +1,66 @@
+"""Tests for PageRank, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, pagerank, star_graph, top_k_nodes
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_powerlaw):
+        scores = pagerank(small_powerlaw)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self, empty_graph):
+        assert pagerank(empty_graph) == {}
+
+    def test_symmetric_graph_uniform(self, cycle6):
+        scores = pagerank(cycle6)
+        values = list(scores.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_hub_ranks_highest(self, star4):
+        scores = pagerank(star4)
+        assert scores[0] == max(scores.values())
+
+    def test_dangling_nodes_handled(self):
+        g = Graph(edges=[(0, 1)], nodes=[2, 3])
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores[2] == pytest.approx(scores[3])
+
+    def test_networkx_oracle(self, small_powerlaw):
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        nx_graph.add_nodes_from(small_powerlaw.nodes())
+        theirs = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=500)
+        ours = pagerank(small_powerlaw, damping=0.85, tolerance=1e-12, max_iterations=500)
+        for node in small_powerlaw.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-7)
+
+    def test_damping_validation(self, star4):
+        with pytest.raises(ValueError):
+            pagerank(star4, damping=1.0)
+
+
+class TestTopK:
+    def test_returns_k_nodes(self, small_powerlaw):
+        assert len(top_k_nodes(small_powerlaw, 10)) == 10
+
+    def test_best_first(self, star4):
+        assert top_k_nodes(star4, 1) == [0]
+
+    def test_k_zero(self, star4):
+        assert top_k_nodes(star4, 0) == []
+
+    def test_k_too_large(self, star4):
+        with pytest.raises(GraphError):
+            top_k_nodes(star4, 100)
+
+    def test_negative_k(self, star4):
+        with pytest.raises(ValueError):
+            top_k_nodes(star4, -1)
+
+    def test_deterministic_tie_break(self, cycle6):
+        # all scores tie: insertion order decides
+        assert top_k_nodes(cycle6, 3) == [0, 1, 2]

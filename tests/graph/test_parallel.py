@@ -1,0 +1,59 @@
+"""Tests for multiprocess betweenness (result-identical to serial)."""
+
+import pytest
+
+from repro.graph import (
+    edge_betweenness,
+    node_betweenness,
+    parallel_edge_betweenness,
+    parallel_node_betweenness,
+)
+
+
+class TestParallelEdgeBetweenness:
+    def test_matches_serial_exact(self, small_powerlaw):
+        serial = edge_betweenness(small_powerlaw, normalized=False)
+        parallel = parallel_edge_betweenness(
+            small_powerlaw, num_workers=2, normalized=False
+        )
+        assert set(parallel) == set(serial)
+        for edge, value in serial.items():
+            assert parallel[edge] == pytest.approx(value, abs=1e-9)
+
+    def test_matches_serial_normalized(self, small_powerlaw):
+        serial = edge_betweenness(small_powerlaw, normalized=True)
+        parallel = parallel_edge_betweenness(small_powerlaw, num_workers=3)
+        for edge, value in serial.items():
+            assert parallel[edge] == pytest.approx(value, abs=1e-12)
+
+    def test_single_worker_falls_back(self, triangle):
+        serial = edge_betweenness(triangle)
+        parallel = parallel_edge_betweenness(triangle, num_workers=1)
+        assert parallel == serial
+
+    def test_invalid_workers(self, triangle):
+        with pytest.raises(ValueError):
+            parallel_edge_betweenness(triangle, num_workers=0)
+
+    def test_sampled_sources_supported(self, small_powerlaw):
+        parallel = parallel_edge_betweenness(
+            small_powerlaw, num_workers=2, num_sources=40, seed=0
+        )
+        assert len(parallel) == small_powerlaw.num_edges
+        assert all(value >= 0 for value in parallel.values())
+
+
+class TestParallelNodeBetweenness:
+    def test_matches_serial(self, small_powerlaw):
+        serial = node_betweenness(small_powerlaw, normalized=False)
+        parallel = parallel_node_betweenness(
+            small_powerlaw, num_workers=2, normalized=False
+        )
+        for node, value in serial.items():
+            assert parallel[node] == pytest.approx(value, abs=1e-9)
+
+    def test_string_labels(self, figure1):
+        serial = node_betweenness(figure1, normalized=False)
+        parallel = parallel_node_betweenness(figure1, num_workers=2, normalized=False)
+        for node, value in serial.items():
+            assert parallel[node] == pytest.approx(value, abs=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for shortest-path distributions."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    average_shortest_path_length,
+    distance_distribution,
+    effective_diameter,
+    pairwise_distance_counts,
+    path_graph,
+)
+
+
+class TestPairwiseCounts:
+    def test_triangle(self, triangle):
+        counts = pairwise_distance_counts(triangle)
+        # 3 unordered pairs at distance 1, counted from both ends = 6
+        assert counts == {1: 6}
+
+    def test_path(self, path5):
+        counts = pairwise_distance_counts(path5)
+        assert counts[1] == 8  # 4 edges, both directions
+        assert counts[4] == 2  # the endpoints pair
+
+    def test_disconnected_graph_partial_counts(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        counts = pairwise_distance_counts(g)
+        assert counts == {1: 4}
+
+    def test_sampled_counts_subset(self, cycle6):
+        counts = pairwise_distance_counts(cycle6, num_sources=2, seed=0)
+        assert sum(counts.values()) == 2 * 5  # each source reaches 5 others
+
+
+class TestDistanceDistribution:
+    def test_sums_to_one(self, small_powerlaw):
+        distribution = distance_distribution(small_powerlaw)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_for_edgeless_graph(self):
+        assert distance_distribution(Graph(nodes=[1, 2])) == {}
+
+    def test_star_distribution(self, star4):
+        distribution = distance_distribution(star4)
+        # star: 4 pairs at distance 1, 6 pairs at distance 2
+        assert distribution[1] == pytest.approx(4 / 10)
+        assert distribution[2] == pytest.approx(6 / 10)
+
+    def test_networkx_oracle(self, small_powerlaw):
+        import networkx as nx
+        from collections import Counter
+
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        counts = Counter()
+        for _, lengths in nx.all_pairs_shortest_path_length(nx_graph):
+            for distance in lengths.values():
+                if distance > 0:
+                    counts[distance] += 1
+        total = sum(counts.values())
+        expected = {d: c / total for d, c in counts.items()}
+        ours = distance_distribution(small_powerlaw)
+        assert set(ours) == set(expected)
+        for distance in expected:
+            assert ours[distance] == pytest.approx(expected[distance])
+
+
+class TestAverageLength:
+    def test_path_average(self):
+        g = path_graph(3)  # distances: 1,1,2 -> mean 4/3
+        assert average_shortest_path_length(g) == pytest.approx(4 / 3)
+
+    def test_no_pairs_raises(self):
+        with pytest.raises(GraphError):
+            average_shortest_path_length(Graph(nodes=[1, 2]))
+
+
+class TestEffectiveDiameter:
+    def test_complete_graph(self, k5):
+        assert effective_diameter(k5, fraction=0.9) <= 1.0
+
+    def test_monotone_in_fraction(self, small_powerlaw):
+        d50 = effective_diameter(small_powerlaw, fraction=0.5)
+        d90 = effective_diameter(small_powerlaw, fraction=0.9)
+        assert d50 <= d90
+
+    def test_invalid_fraction(self, k5):
+        with pytest.raises(ValueError):
+            effective_diameter(k5, fraction=0.0)
+
+    def test_no_pairs_raises(self):
+        with pytest.raises(GraphError):
+            effective_diameter(Graph(nodes=[1]))

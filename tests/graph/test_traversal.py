@@ -1,0 +1,95 @@
+"""Tests for BFS traversal and connectivity."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    is_connected,
+    largest_component,
+    num_connected_components,
+)
+
+
+class TestBFSDistances:
+    def test_path_distances(self, path5):
+        assert bfs_distances(path5, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cycle_distances(self, cycle6):
+        distances = bfs_distances(cycle6, 0)
+        assert distances[3] == 3
+        assert distances[5] == 1
+
+    def test_cutoff_limits_depth(self, path5):
+        distances = bfs_distances(path5, 0, cutoff=2)
+        assert set(distances) == {0, 1, 2}
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        assert 2 not in bfs_distances(g, 0)
+
+    def test_missing_source(self, path5):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path5, 99)
+
+
+class TestBFSLayers:
+    def test_star_layers(self, star4):
+        layers = list(bfs_layers(star4, 0))
+        assert layers[0] == [0]
+        assert sorted(layers[1]) == [1, 2, 3, 4]
+        assert len(layers) == 2
+
+    def test_order_visits_all_reachable(self, cycle6):
+        order = bfs_order(cycle6, 0)
+        assert len(order) == 6
+        assert order[0] == 0
+
+    def test_missing_source(self, star4):
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_layers(star4, "nope"))
+
+
+class TestComponents:
+    def test_single_component(self, k5):
+        assert num_connected_components(k5) == 1
+        assert is_connected(k5)
+
+    def test_two_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        components = connected_components(g)
+        assert len(components) == 2
+        assert not is_connected(g)
+
+    def test_components_sorted_largest_first(self):
+        g = Graph(edges=[(0, 1), (2, 3), (3, 4)])
+        components = connected_components(g)
+        assert len(components[0]) >= len(components[1])
+        assert components[0] == {2, 3, 4}
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert num_connected_components(g) == 3
+
+    def test_largest_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        assert largest_component(g) == {0, 1, 2}
+
+    def test_largest_component_empty_graph(self, empty_graph):
+        assert largest_component(empty_graph) == set()
+
+    def test_empty_graph_is_connected(self, empty_graph):
+        assert is_connected(empty_graph)
+
+    def test_networkx_oracle(self, small_powerlaw):
+        import networkx as nx
+
+        nx_graph = nx.Graph(list(small_powerlaw.edges()))
+        nx_graph.add_nodes_from(small_powerlaw.nodes())
+        ours = sorted(frozenset(c) for c in connected_components(small_powerlaw))
+        theirs = sorted(frozenset(c) for c in nx.connected_components(nx_graph))
+        assert set(ours) == set(theirs)

@@ -1,0 +1,78 @@
+"""Property-based tests for estimation and partition metrics (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    estimate_average_degree,
+    estimate_num_edges,
+    wedge_count,
+)
+from repro.graph import Graph
+from repro.graph.communities import normalized_mutual_information
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 14))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=3 * n,
+        )
+    )
+    return Graph(edges=edges, nodes=range(n))
+
+
+ratios = st.sampled_from([0.2, 0.5, 0.8])
+
+
+@given(graphs(), ratios)
+@settings(max_examples=60, deadline=None)
+def test_estimators_scale_consistently(g, p):
+    """Estimators are exact inverse scalings of the reduced quantities."""
+    assert estimate_num_edges(g, p) == g.num_edges / p
+    if g.num_nodes:
+        assert estimate_average_degree(g, p) == 2 * g.num_edges / (p * g.num_nodes)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_wedge_count_nonnegative_and_consistent(g):
+    wedges = wedge_count(g)
+    assert wedges >= 0
+    # identity: sum over nodes of C(deg, 2)
+    assert wedges == sum(
+        g.degree(u) * (g.degree(u) - 1) // 2 for u in g.nodes()
+    )
+
+
+labelings = st.integers(2, 30).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+@given(labelings)
+@settings(max_examples=100)
+def test_nmi_bounds_and_symmetry(data):
+    n, raw_a, raw_b = data
+    a = {i: raw_a[i] for i in range(n)}
+    b = {i: raw_b[i] for i in range(n)}
+    value = normalized_mutual_information(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == normalized_mutual_information(b, a)
+
+
+@given(labelings)
+@settings(max_examples=60)
+def test_nmi_self_is_one_unless_trivial_mix(data):
+    n, raw_a, _ = data
+    a = {i: raw_a[i] for i in range(n)}
+    assert normalized_mutual_information(a, a) == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,59 @@
+"""Property tests for node-removal churn (regression for the insertion-
+index reuse bug: removed nodes' indices must never be reassigned in a way
+that makes edges() skip edges)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import Graph
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("edge"), st.integers(0, 9), st.integers(0, 9)),
+            st.tuples(st.just("remove_node"), st.integers(0, 9), st.integers(0, 9)),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_edges_never_lost_under_node_churn(operations):
+    g = Graph()
+    expected: set = set()
+    for op, a, b in operations:
+        if op == "edge":
+            if a == b:
+                continue
+            g.add_edge(a, b)
+            expected.add(frozenset((a, b)))
+        else:
+            if g.has_node(a):
+                expected = {pair for pair in expected if a not in pair}
+                g.remove_node(a)
+    yielded = [frozenset(e) for e in g.edges()]
+    assert len(yielded) == len(set(yielded)), "edges() yielded a duplicate"
+    assert set(yielded) == expected, "edges() lost or invented an edge"
+    assert g.num_edges == len(expected)
+
+
+@given(
+    st.lists(st.integers(0, 6), max_size=15),
+    st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_canonical_edge_total_order_after_churn(removals, edges):
+    """canonical_edge must stay antisymmetric for all node pairs."""
+    g = Graph(nodes=range(7))
+    for node in removals:
+        if g.has_node(node):
+            g.remove_node(node)
+    for u, v in edges:
+        if u != v:
+            g.add_edge(u, v)
+    nodes = list(g.nodes())
+    for u in nodes:
+        for v in nodes:
+            if u == v:
+                continue
+            assert g.canonical_edge(u, v) == g.canonical_edge(v, u)

@@ -1,0 +1,81 @@
+"""Property-based tests for the Graph data structure (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import Graph
+
+# Strategy: a list of candidate edges over a small node universe.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+)
+
+
+@given(edge_lists)
+def test_handshake_lemma(edges):
+    """Sum of degrees is twice the edge count, always."""
+    g = Graph(edges=edges)
+    assert sum(g.degrees().values()) == 2 * g.num_edges
+
+
+@given(edge_lists)
+def test_edges_iterated_exactly_once(edges):
+    g = Graph(edges=edges)
+    seen = [frozenset(e) for e in g.edges()]
+    assert len(seen) == len(set(seen)) == g.num_edges
+
+
+@given(edge_lists)
+def test_adjacency_symmetry(edges):
+    g = Graph(edges=edges)
+    for node in g.nodes():
+        for neighbor in g.neighbors(node):
+            assert g.has_edge(neighbor, node)
+
+
+@given(edge_lists)
+def test_copy_round_trip(edges):
+    g = Graph(edges=edges)
+    assert g.copy() == g
+
+
+@given(edge_lists)
+def test_subgraph_of_all_edges_is_identity(edges):
+    g = Graph(edges=edges)
+    assert g.edge_subgraph(g.edges()) == g
+
+
+@given(edge_lists, st.randoms(use_true_random=False))
+def test_edit_sequence_consistency(edges, rnd):
+    """Random interleavings of add/remove keep num_edges consistent with
+    the actual edge set."""
+    g = Graph()
+    alive = set()
+    for u, v in edges:
+        if rnd.random() < 0.7:
+            g.add_edge(u, v)
+            alive.add(frozenset((u, v)))
+        elif g.has_edge(u, v):
+            g.remove_edge(u, v)
+            alive.discard(frozenset((u, v)))
+    assert g.num_edges == len(alive)
+    assert {frozenset(e) for e in g.edges()} == alive
+
+
+@given(edge_lists)
+def test_io_round_trip(edges):
+    """JSON serialisation is lossless for any graph."""
+    import os
+    import tempfile
+
+    from repro.graph.io import read_json, write_json
+
+    g = Graph(edges=edges)
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        write_json(g, path)
+        assert read_json(path) == g
+    finally:
+        os.unlink(path)

@@ -1,0 +1,78 @@
+"""Property-based tests for the task metrics (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.tasks import (
+    curve_similarity,
+    distribution_similarity,
+    ks_statistic,
+    overlap_utility,
+    total_variation_distance,
+)
+
+# Discrete distributions over small integer supports, normalised.
+@st.composite
+def distributions(draw):
+    support = draw(st.lists(st.integers(0, 20), min_size=1, max_size=8, unique=True))
+    weights = [draw(st.floats(0.01, 1.0)) for _ in support]
+    total = sum(weights)
+    return {k: w / total for k, w in zip(support, weights)}
+
+
+curves = st.dictionaries(
+    st.integers(0, 20), st.floats(0.0, 100.0), min_size=0, max_size=8
+)
+
+
+@given(distributions(), distributions())
+@settings(max_examples=100)
+def test_tvd_bounds_and_symmetry(a, b):
+    tvd = total_variation_distance(a, b)
+    assert 0.0 <= tvd <= 1.0 + 1e-12
+    assert abs(tvd - total_variation_distance(b, a)) < 1e-12
+
+
+@given(distributions())
+@settings(max_examples=50)
+def test_tvd_identity(a):
+    assert total_variation_distance(a, a) == 0.0
+    assert distribution_similarity(a, a) == 1.0
+
+
+@given(distributions(), distributions(), distributions())
+@settings(max_examples=60)
+def test_tvd_triangle_inequality(a, b, c):
+    assert total_variation_distance(a, c) <= (
+        total_variation_distance(a, b) + total_variation_distance(b, c) + 1e-12
+    )
+
+
+@given(distributions(), distributions())
+@settings(max_examples=100)
+def test_ks_bounds(a, b):
+    ks = ks_statistic(a, b)
+    assert -1e-12 <= ks <= 1.0 + 1e-12
+    assert ks <= 2 * total_variation_distance(a, b) + 1e-9
+
+
+@given(curves, curves)
+@settings(max_examples=100)
+def test_curve_similarity_bounds(a, b):
+    value = curve_similarity(a, b)
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(curves)
+@settings(max_examples=50)
+def test_curve_similarity_identity(a):
+    assert curve_similarity(a, a) == 1.0
+
+
+@given(st.sets(st.integers(0, 30)), st.sets(st.integers(0, 30)))
+@settings(max_examples=100)
+def test_overlap_utility_bounds(reference, candidate):
+    value = overlap_utility(reference, candidate)
+    assert 0.0 <= value <= 1.0
+    if reference and reference <= candidate:
+        assert value == 1.0

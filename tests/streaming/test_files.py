@@ -1,0 +1,63 @@
+"""Tests for disk-to-disk streaming reduction."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import powerlaw_cluster, read_edge_list, write_edge_list
+from repro.streaming import iter_edge_list, shed_edge_list_file
+
+
+class TestIterEdgeList:
+    def test_streams_edges(self, tmp_path, figure1):
+        path = tmp_path / "g.txt"
+        write_edge_list(figure1, path)
+        edges = list(iter_edge_list(path))
+        assert len(edges) == figure1.num_edges
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n1 2\n% other\n3 4\n")
+        assert list(iter_edge_list(path)) == [(1, 2), (3, 4)]
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("loneley\n")
+        with pytest.raises(GraphError):
+            list(iter_edge_list(path))
+
+
+class TestShedEdgeListFile:
+    def test_end_to_end(self, tmp_path):
+        graph = powerlaw_cluster(150, 3, 0.3, seed=4)
+        input_path = tmp_path / "in.txt"
+        output_path = tmp_path / "out.txt"
+        write_edge_list(graph, input_path)
+
+        stats = shed_edge_list_file(input_path, output_path, p=0.5)
+        assert stats.input_edges == graph.num_edges
+        assert 0 < stats.kept_edges <= graph.num_edges
+        assert stats.achieved_ratio <= 0.55
+
+        reduced = read_edge_list(output_path)
+        for u, v in reduced.edges():
+            assert graph.has_edge(u, v)
+
+    def test_degree_capacities_respected(self, tmp_path):
+        graph = powerlaw_cluster(120, 3, 0.3, seed=9)
+        input_path = tmp_path / "in.txt"
+        output_path = tmp_path / "out.txt"
+        write_edge_list(graph, input_path)
+        from repro.core import round_half_up
+
+        shed_edge_list_file(input_path, output_path, p=0.4)
+        reduced = read_edge_list(output_path)
+        for node in reduced.nodes():
+            assert reduced.degree(node) <= round_half_up(0.4 * graph.degree(node))
+
+    def test_stats_zero_input(self, tmp_path):
+        input_path = tmp_path / "in.txt"
+        output_path = tmp_path / "out.txt"
+        input_path.write_text("# empty\n")
+        stats = shed_edge_list_file(input_path, output_path, p=0.5)
+        assert stats.input_edges == 0
+        assert stats.achieved_ratio == 0.0

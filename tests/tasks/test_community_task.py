@@ -1,0 +1,42 @@
+"""Tests for the community-preservation extension task."""
+
+import pytest
+
+from repro.core import BM2Shedder, RandomShedder
+from repro.graph import stochastic_block_model
+from repro.tasks import CommunityTask
+
+
+@pytest.fixture(scope="module")
+def sbm():
+    return stochastic_block_model(
+        [30, 30, 30], [[0.4, 0.01, 0.01], [0.01, 0.4, 0.01], [0.01, 0.01, 0.4]], seed=5
+    )
+
+
+class TestCommunityTask:
+    def test_identity_utility(self, sbm):
+        task = CommunityTask(seed=0)
+        artifact = task.compute(sbm)
+        assert task.utility(artifact, artifact) == pytest.approx(1.0)
+
+    def test_artifact_covers_all_nodes(self, sbm):
+        labels = CommunityTask(seed=0).compute(sbm).value
+        assert set(labels) == set(sbm.nodes())
+
+    def test_high_p_preserves_communities(self, sbm):
+        task = CommunityTask(seed=0)
+        result = BM2Shedder(seed=0).reduce(sbm, 0.8)
+        assert task.evaluate(sbm, result).utility > 0.5
+
+    def test_utility_in_unit_interval(self, sbm):
+        task = CommunityTask(seed=0)
+        for p in (0.7, 0.3):
+            result = RandomShedder(seed=0).reduce(sbm, p)
+            assert 0.0 <= task.evaluate(sbm, result).utility <= 1.0
+
+    def test_more_shedding_weakly_degrades(self, sbm):
+        task = CommunityTask(seed=0)
+        high = BM2Shedder(seed=0).reduce(sbm, 0.8)
+        low = BM2Shedder(seed=0).reduce(sbm, 0.15)
+        assert task.evaluate(sbm, high).utility >= task.evaluate(sbm, low).utility - 0.15

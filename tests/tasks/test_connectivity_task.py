@@ -1,0 +1,43 @@
+"""Tests for the connectivity extension task."""
+
+import pytest
+
+from repro.core import BM2Shedder, CRRShedder
+from repro.graph import Graph
+from repro.tasks import ConnectivityTask
+
+
+class TestConnectivityTask:
+    def test_artifact_fields(self, small_powerlaw):
+        value = ConnectivityTask().compute(small_powerlaw).value
+        assert 0.0 < value["giant_fraction"] <= 1.0
+        assert value["num_components"] >= 1.0
+
+    def test_connected_graph_giant_is_one(self, k5):
+        value = ConnectivityTask().compute(k5).value
+        assert value["giant_fraction"] == pytest.approx(1.0)
+        assert value["num_components"] == 1.0
+
+    def test_identity_utility(self, small_powerlaw):
+        task = ConnectivityTask()
+        artifact = task.compute(small_powerlaw)
+        assert task.utility(artifact, artifact) == pytest.approx(1.0)
+
+    def test_utility_degrades_with_fragmentation(self, medium_powerlaw):
+        task = ConnectivityTask()
+        high = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.8)
+        low = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.2)
+        assert task.evaluate(medium_powerlaw, high).utility >= task.evaluate(
+            medium_powerlaw, low
+        ).utility
+
+    def test_empty_original_handled(self):
+        task = ConnectivityTask()
+        empty = Graph(nodes=[1, 2])
+        artifact = task.compute(empty)
+        assert task.utility(artifact, artifact) == 1.0
+
+    def test_crr_preserves_connectivity_reasonably(self, medium_powerlaw):
+        task = ConnectivityTask()
+        result = CRRShedder(seed=0, num_betweenness_sources=64).reduce(medium_powerlaw, 0.5)
+        assert task.evaluate(medium_powerlaw, result).utility > 0.5

@@ -1,0 +1,65 @@
+"""Tests for the link prediction task (task 7)."""
+
+import pytest
+
+from repro.core import BM2Shedder
+from repro.graph import Graph, star_graph, stochastic_block_model
+from repro.tasks import LinkPredictionTask, two_hop_pairs
+
+
+class TestTwoHopPairs:
+    def test_star_pairs(self):
+        pairs = two_hop_pairs(star_graph(4))
+        assert len(pairs) == 6  # all leaf pairs
+
+    def test_triangle_has_none(self, triangle):
+        assert two_hop_pairs(triangle) == set()
+
+    def test_path_pairs(self, path5):
+        pairs = two_hop_pairs(path5)
+        assert frozenset((0, 2)) in pairs
+        assert frozenset((0, 3)) not in pairs  # distance 3
+        assert len(pairs) == 3
+
+    def test_excludes_adjacent(self, k5):
+        assert two_hop_pairs(k5) == set()
+
+
+class TestLinkPredictionTask:
+    @pytest.fixture
+    def sbm(self):
+        return stochastic_block_model([20, 20], [[0.4, 0.02], [0.02, 0.4]], seed=3)
+
+    def test_artifact_is_subset_of_two_hop_pairs(self, sbm):
+        task = LinkPredictionTask(seed=0, num_walks=3, walk_length=10)
+        value = task.compute(sbm).value
+        assert value <= two_hop_pairs(sbm)
+
+    def test_empty_graph_returns_empty(self):
+        task = LinkPredictionTask(seed=0)
+        value = task.compute(Graph(edges=[(0, 1)])).value
+        assert value == set()  # no 2-hop pairs at all
+
+    def test_identity_utility(self, sbm):
+        task = LinkPredictionTask(seed=0, num_walks=3, walk_length=10)
+        artifact = task.compute(sbm)
+        assert task.utility(artifact, artifact) == pytest.approx(1.0)
+
+    def test_mostly_within_community_predictions(self, sbm):
+        """On a clean SBM, most predicted pairs stay inside a block."""
+        task = LinkPredictionTask(seed=0, num_walks=8, walk_length=20, epochs=2)
+        predictions = task.compute(sbm).value
+        assert predictions  # non-trivial prediction set
+        within = sum(1 for pair in predictions if len({n < 20 for n in pair}) == 1)
+        assert within / len(predictions) > 0.6
+
+    def test_full_evaluation_pipeline(self, sbm):
+        task = LinkPredictionTask(seed=0, num_walks=3, walk_length=10)
+        result = BM2Shedder(seed=0).reduce(sbm, 0.6)
+        evaluation = task.evaluate(sbm, result)
+        assert 0.0 <= evaluation.utility <= 1.0
+
+    def test_deterministic_by_seed(self, sbm):
+        task_a = LinkPredictionTask(seed=5, num_walks=3, walk_length=10)
+        task_b = LinkPredictionTask(seed=5, num_walks=3, walk_length=10)
+        assert task_a.compute(sbm).value == task_b.compute(sbm).value

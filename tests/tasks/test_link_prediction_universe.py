@@ -1,0 +1,52 @@
+"""Tests for the two link-prediction pair-universe interpretations."""
+
+import pytest
+
+from repro.core import BM2Shedder
+from repro.graph import stochastic_block_model
+from repro.tasks import LinkPredictionTask, two_hop_pairs
+
+
+@pytest.fixture(scope="module")
+def sbm():
+    return stochastic_block_model([25, 25], [[0.4, 0.02], [0.02, 0.4]], seed=3)
+
+
+class TestPairUniverse:
+    def test_invalid_universe_rejected(self):
+        with pytest.raises(ValueError):
+            LinkPredictionTask(pair_universe="both")
+
+    def test_own_universe_pairs_from_reduced(self, sbm):
+        task = LinkPredictionTask(seed=0, num_walks=3, walk_length=10, pair_universe="own")
+        result = BM2Shedder(seed=0).reduce(sbm, 0.4)
+        artifact = task.compute_for_result(result)
+        assert artifact.value <= two_hop_pairs(result.reduced)
+
+    def test_original_universe_pairs_from_original(self, sbm):
+        task = LinkPredictionTask(
+            seed=0, num_walks=3, walk_length=10, pair_universe="original"
+        )
+        result = BM2Shedder(seed=0).reduce(sbm, 0.4)
+        artifact = task.compute_for_result(result)
+        assert artifact.value <= two_hop_pairs(sbm)
+
+    def test_original_universe_higher_utility_at_small_p(self, sbm):
+        """The interpretation difference the docstring documents."""
+        result = BM2Shedder(seed=0).reduce(sbm, 0.2)
+        own = LinkPredictionTask(seed=0, num_walks=4, walk_length=15, pair_universe="own")
+        original = LinkPredictionTask(
+            seed=0, num_walks=4, walk_length=15, pair_universe="original"
+        )
+        own_utility = own.evaluate(sbm, result).utility
+        original_utility = original.evaluate(sbm, result).utility
+        assert original_utility >= own_utility
+
+    def test_both_universes_agree_on_identity(self, sbm):
+        """On an un-reduced graph the two interpretations coincide."""
+        for universe in ("own", "original"):
+            task = LinkPredictionTask(
+                seed=0, num_walks=3, walk_length=10, pair_universe=universe
+            )
+            artifact = task.compute(sbm)
+            assert task.utility(artifact, artifact) == pytest.approx(1.0)

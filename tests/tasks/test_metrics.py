@@ -1,0 +1,111 @@
+"""Tests for the task metrics."""
+
+import pytest
+
+from repro.tasks import (
+    curve_similarity,
+    distribution_similarity,
+    ks_statistic,
+    l1_distance,
+    overlap_utility,
+    total_variation_distance,
+)
+from repro.tasks.metrics import cdf_similarity, log_bin
+
+
+class TestTVD:
+    def test_identical(self):
+        d = {1: 0.5, 2: 0.5}
+        assert total_variation_distance(d, d) == 0.0
+
+    def test_disjoint(self):
+        assert total_variation_distance({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        a = {1: 0.5, 2: 0.5}
+        b = {1: 0.25, 2: 0.75}
+        assert total_variation_distance(a, b) == pytest.approx(0.25)
+
+    def test_similarity_complement(self):
+        a = {1: 0.5, 2: 0.5}
+        b = {1: 0.25, 2: 0.75}
+        assert distribution_similarity(a, b) == pytest.approx(0.75)
+
+    def test_symmetric(self):
+        a = {1: 0.7, 3: 0.3}
+        b = {2: 1.0}
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+
+
+class TestKS:
+    def test_identical(self):
+        d = {1: 0.3, 2: 0.7}
+        assert ks_statistic(d, d) == 0.0
+
+    def test_shifted_mass(self):
+        assert ks_statistic({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_aliasing_robustness(self):
+        """The scenario that motivated cdf_similarity: even-only support
+        vs full support with the same overall shape."""
+        full = {1: 0.25, 2: 0.25, 3: 0.25, 4: 0.25}
+        even_only = {2: 0.5, 4: 0.5}
+        assert ks_statistic(full, even_only) <= 0.25
+        assert total_variation_distance(full, even_only) == pytest.approx(0.5)
+
+    def test_cdf_similarity_complement(self):
+        a = {1: 1.0}
+        b = {2: 1.0}
+        assert cdf_similarity(a, b) == pytest.approx(0.0)
+        assert cdf_similarity(a, a) == pytest.approx(1.0)
+
+
+class TestCurveSimilarity:
+    def test_identical(self):
+        curve = {1: 0.2, 2: 0.9}
+        assert curve_similarity(curve, curve) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert curve_similarity({1: 1.0}, {2: 1.0}) == pytest.approx(0.0)
+
+    def test_both_zero(self):
+        assert curve_similarity({}, {}) == pytest.approx(1.0)
+
+    def test_l1(self):
+        assert l1_distance({1: 0.5}, {1: 0.25, 2: 0.25}) == pytest.approx(0.5)
+
+    def test_in_unit_interval(self):
+        a = {1: 3.0, 2: 0.1}
+        b = {2: 5.0, 3: 0.4}
+        assert 0.0 <= curve_similarity(a, b) <= 1.0
+
+
+class TestLogBin:
+    @pytest.mark.parametrize(
+        "key, expected",
+        [(1, 1), (2, 2), (3, 2), (4, 4), (7, 4), (8, 8), (100, 64)],
+    )
+    def test_bin_edges(self, key, expected):
+        assert log_bin(key) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log_bin(0)
+
+
+class TestOverlapUtility:
+    def test_full_overlap(self):
+        assert overlap_utility([1, 2, 3], [3, 2, 1]) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert overlap_utility([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert overlap_utility([1, 2, 3, 4], [1, 2]) == pytest.approx(0.5)
+
+    def test_empty_reference(self):
+        assert overlap_utility([], [1, 2]) == 1.0
+
+    def test_asymmetric(self):
+        # candidate extras don't help or hurt
+        assert overlap_utility([1], [1, 2, 3, 4]) == 1.0

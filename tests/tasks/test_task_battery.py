@@ -1,0 +1,66 @@
+"""Tests for the all_tasks battery and the GraphTask contract."""
+
+import pytest
+
+from repro.core import BM2Shedder
+from repro.errors import TaskError
+from repro.tasks import GraphTask, all_tasks
+
+
+class TestAllTasks:
+    def test_seven_tasks_in_paper_order(self):
+        tasks = all_tasks(seed=0)
+        names = [task.name for task in tasks]
+        assert names == [
+            "Vertex degree",
+            "SP distance",
+            "Betweenness centrality",
+            "Clustering coefficient",
+            "Hop-plot",
+            "Top-k",
+            "Link prediction",
+        ]
+
+    def test_all_tasks_run_on_reduction(self, small_powerlaw):
+        result = BM2Shedder(seed=0).reduce(small_powerlaw, 0.5)
+        for task in all_tasks(seed=0, num_sources=32):
+            evaluation = task.evaluate(small_powerlaw, result)
+            assert 0.0 <= evaluation.utility <= 1.0, task.name
+            assert evaluation.original.elapsed_seconds >= 0
+            assert evaluation.reduced.elapsed_seconds >= 0
+
+
+class TestTaskContract:
+    def test_scale_validation(self, small_powerlaw):
+        task = all_tasks(seed=0)[0]
+        with pytest.raises(TaskError):
+            task.compute(small_powerlaw, scale=1.5)
+        with pytest.raises(TaskError):
+            task.compute(small_powerlaw, scale=0.0)
+
+    def test_artifact_records_scale(self, small_powerlaw):
+        task = all_tasks(seed=0)[0]
+        artifact = task.compute(small_powerlaw, scale=0.5)
+        assert artifact.scale == 0.5
+        assert artifact.task == task.name
+
+    def test_repr(self):
+        task = all_tasks(seed=0)[0]
+        assert "Vertex degree" in repr(task)
+
+    def test_custom_task_subclass(self, triangle):
+        class EdgeCountTask(GraphTask):
+            name = "Edge count"
+
+            def _compute(self, graph, scale):
+                return graph.num_edges / scale
+
+            def utility(self, original, reduced):
+                larger = max(original.value, reduced.value)
+                return min(original.value, reduced.value) / larger if larger else 1.0
+
+        task = EdgeCountTask()
+        result = BM2Shedder(seed=0).reduce(triangle, 0.5)
+        evaluation = task.evaluate(triangle, result)
+        assert evaluation.task == "Edge count"
+        assert 0.0 <= evaluation.utility <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for the top-k query task (task 6)."""
+
+import pytest
+
+from repro.baselines import UDSSummarizer
+from repro.core import BM2Shedder, CRRShedder, RandomShedder
+from repro.errors import TaskError
+from repro.tasks import TopKQueryTask
+
+
+class TestTopKBasics:
+    def test_k_computation(self, small_powerlaw):
+        task = TopKQueryTask(t_percent=10.0)
+        artifact = task.compute(small_powerlaw)
+        assert len(artifact.value) == round(small_powerlaw.num_nodes * 0.1)
+
+    def test_k_at_least_one(self, triangle):
+        task = TopKQueryTask(t_percent=1.0)
+        assert len(task.compute(triangle).value) == 1
+
+    def test_invalid_t(self):
+        with pytest.raises(TaskError):
+            TopKQueryTask(t_percent=0.0)
+        with pytest.raises(TaskError):
+            TopKQueryTask(t_percent=150.0)
+
+    def test_identity_utility(self, small_powerlaw):
+        task = TopKQueryTask()
+        artifact = task.compute(small_powerlaw)
+        assert task.utility(artifact, artifact) == pytest.approx(1.0)
+
+    def test_utility_in_unit_interval(self, small_powerlaw):
+        task = TopKQueryTask()
+        result = BM2Shedder(seed=0).reduce(small_powerlaw, 0.5)
+        assert 0.0 <= task.evaluate(small_powerlaw, result).utility <= 1.0
+
+
+class TestTopKOrdering:
+    def test_degree_preserving_beats_random(self, medium_powerlaw):
+        """The paper's Table VIII ordering, in miniature."""
+        task = TopKQueryTask()
+        crr = CRRShedder(seed=0, num_betweenness_sources=64).reduce(medium_powerlaw, 0.3)
+        random_shed = RandomShedder(seed=0).reduce(medium_powerlaw, 0.3)
+        assert task.evaluate(medium_powerlaw, crr).utility > task.evaluate(
+            medium_powerlaw, random_shed
+        ).utility
+
+    def test_high_p_high_utility(self, medium_powerlaw):
+        task = TopKQueryTask()
+        result = BM2Shedder(seed=0).reduce(medium_powerlaw, 0.9)
+        assert task.evaluate(medium_powerlaw, result).utility > 0.7
+
+
+class TestUDSSummaryPath:
+    def test_summary_native_ranking_used(self, small_powerlaw):
+        """UDS results carry a summary; the task must rank via supernodes."""
+        task = TopKQueryTask()
+        result = UDSSummarizer(seed=0).reduce(small_powerlaw, 0.5)
+        artifact = task.compute_for_result(result)
+        assert len(artifact.value) == round(small_powerlaw.num_nodes * 0.1)
+        # every returned node is an original node
+        assert set(artifact.value) <= set(small_powerlaw.nodes())
+
+    def test_summary_utility_defined(self, small_powerlaw):
+        task = TopKQueryTask()
+        result = UDSSummarizer(seed=0).reduce(small_powerlaw, 0.5)
+        evaluation = task.evaluate(small_powerlaw, result)
+        assert 0.0 <= evaluation.utility <= 1.0

@@ -1,0 +1,175 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reduce_defaults(self):
+        args = build_parser().parse_args(["reduce"])
+        assert args.dataset == "ca-grqc"
+        assert args.method == "bm2"
+        assert args.p == 0.5
+
+    def test_bench_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reduce", "--dataset", "bogus"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-grqc" in out
+        assert "com-livejournal" in out
+
+    def test_reduce_prints_summary(self, capsys):
+        code = main(
+            ["reduce", "--dataset", "ca-grqc", "--scale", "0.02", "--method", "bm2", "--p", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BM2" in out
+        assert "p=0.5" in out
+
+    def test_reduce_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "reduced.txt"
+        main(
+            [
+                "reduce",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--p", "0.5",
+                "--output", str(output),
+            ]
+        )
+        assert output.exists()
+        assert "wrote reduced edge list" in capsys.readouterr().out
+
+    def test_reduce_from_input_file(self, tmp_path, capsys, figure1):
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "in.txt"
+        write_edge_list(figure1, path)
+        code = main(["reduce", "--input", str(path), "--method", "crr", "--p", "0.4"])
+        assert code == 0
+        assert "CRR" in capsys.readouterr().out
+
+    def test_reduce_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["reduce", "--scale", "0.02", "--method", "bogus"])
+
+    def test_evaluate(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "crr",
+                "--p", "0.5",
+                "--sources", "16",
+                "--tasks", "degree,topk",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Vertex degree" in out
+        assert "Top-k" in out
+        assert "Link prediction" not in out
+
+    def test_evaluate_unknown_task(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--scale", "0.02", "--tasks", "nonsense"])
+
+    def test_reduce_with_validation(self, capsys):
+        code = main(
+            [
+                "reduce",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--p", "0.5",
+                "--validate",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_evaluate_extension_tasks(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--p", "0.6",
+                "--tasks", "connectivity,community",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Connectivity" in out
+        assert "Community" in out
+
+    def test_estimate(self, capsys):
+        code = main(
+            ["estimate", "--dataset", "ca-grqc", "--scale", "0.02", "--p", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edges: true=" in out
+        assert "relative error" in out
+
+    def test_stats(self, capsys):
+        code = main(["stats", "--dataset", "ca-grqc", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "assortativity" in out
+
+    def test_stats_from_input_file(self, tmp_path, capsys, figure1):
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "in.txt"
+        write_edge_list(figure1, path)
+        assert main(["stats", "--input", str(path)]) == 0
+        assert "edges: 11" in capsys.readouterr().out
+
+    def test_progressive(self, capsys):
+        code = main(
+            [
+                "progressive",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--ratios", "0.8,0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("BM2 (progressive)") == 2
+
+    def test_progressive_bad_ratios(self):
+        with pytest.raises(SystemExit):
+            main(["progressive", "--scale", "0.02", "--ratios", "abc"])
+
+    def test_bench_ablation(self, capsys, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(
+            harness,
+            "_QUICK_SCALES",
+            {"ca-grqc": 0.02, "ca-hepph": 0.008, "email-enron": 0.003, "com-livejournal": 0.00005},
+        )
+        code = main(["bench", "--experiment", "ablation-rounding"])
+        assert code == 0
+        assert "Ablation" in capsys.readouterr().out

@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.graph
+import repro.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.graph.graph, repro.rng],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

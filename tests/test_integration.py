@@ -1,0 +1,83 @@
+"""End-to-end integration tests: the full reduce -> evaluate pipeline.
+
+These are the paper's headline claims, asserted as code on seeded
+surrogates — the same qualitative shapes the benchmark suite prints.
+"""
+
+import pytest
+
+from repro import (
+    BM2Shedder,
+    CRRShedder,
+    RandomShedder,
+    TopKQueryTask,
+    UDSSummarizer,
+    all_tasks,
+    load_dataset,
+)
+from repro.tasks import DegreeDistributionTask
+
+
+@pytest.fixture(scope="module")
+def grqc():
+    return load_dataset("ca-grqc", scale=0.08, seed=0)
+
+
+@pytest.fixture(scope="module")
+def reductions(grqc):
+    return {
+        "CRR": CRRShedder(seed=0, num_betweenness_sources=64).reduce(grqc, 0.3),
+        "BM2": BM2Shedder(seed=0).reduce(grqc, 0.3),
+        "Random": RandomShedder(seed=0).reduce(grqc, 0.3),
+        "UDS": UDSSummarizer(seed=0, num_betweenness_sources=64).reduce(grqc, 0.3),
+    }
+
+
+class TestHeadlineClaims:
+    def test_degree_preservation_ordering(self, reductions):
+        """CRR and BM2 have (much) lower Δ than Random, which beats UDS."""
+        deltas = {name: result.delta for name, result in reductions.items()}
+        assert deltas["CRR"] < deltas["Random"]
+        assert deltas["BM2"] < deltas["Random"]
+        assert deltas["Random"] < deltas["UDS"]
+
+    def test_reduction_speed_ordering(self, reductions):
+        times = {name: result.elapsed_seconds for name, result in reductions.items()}
+        assert times["BM2"] < times["CRR"] < times["UDS"]
+
+    def test_topk_utility_ordering(self, grqc, reductions):
+        task = TopKQueryTask()
+        utilities = {
+            name: task.evaluate(grqc, result).utility
+            for name, result in reductions.items()
+        }
+        assert utilities["CRR"] > utilities["UDS"]
+        assert utilities["BM2"] > utilities["UDS"]
+
+    def test_degree_distribution_utility(self, grqc, reductions):
+        task = DegreeDistributionTask()
+        utilities = {
+            name: task.evaluate(grqc, result).utility
+            for name, result in reductions.items()
+        }
+        assert utilities["CRR"] > utilities["UDS"]
+        assert utilities["BM2"] > utilities["UDS"]
+
+
+class TestFullBattery:
+    def test_all_seven_tasks_on_each_method(self, grqc, reductions):
+        tasks = all_tasks(seed=0, num_sources=48)
+        for name, result in reductions.items():
+            for task in tasks:
+                evaluation = task.evaluate(grqc, result)
+                assert 0.0 <= evaluation.utility <= 1.0, (name, task.name)
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproducible(self, grqc):
+        def run():
+            result = CRRShedder(seed=42, num_betweenness_sources=32).reduce(grqc, 0.5)
+            utility = TopKQueryTask().evaluate(grqc, result).utility
+            return result.delta, utility
+
+        assert run() == run()

@@ -1,0 +1,103 @@
+"""Public API surface tests: exports exist, are importable, and stable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_classes_importable(self):
+        from repro import (  # noqa: F401
+            BM2Shedder,
+            CRRShedder,
+            Graph,
+            ReductionResult,
+            UDSSummarizer,
+            all_tasks,
+            load_dataset,
+        )
+
+    def test_shedders_share_interface(self):
+        from repro import (
+            BM2Shedder,
+            CoreShedder,
+            CRRShedder,
+            DegreeProportionalShedder,
+            EdgeShedder,
+            JaccardShedder,
+            LocalDegreeShedder,
+            RandomShedder,
+            UDSSummarizer,
+        )
+
+        for cls in (
+            CRRShedder,
+            BM2Shedder,
+            UDSSummarizer,
+            RandomShedder,
+            DegreeProportionalShedder,
+            CoreShedder,
+            LocalDegreeShedder,
+            JaccardShedder,
+        ):
+            assert issubclass(cls, EdgeShedder)
+            assert isinstance(cls.name, str) and cls.name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.graph",
+        "repro.core",
+        "repro.baselines",
+        "repro.embedding",
+        "repro.tasks",
+        "repro.datasets",
+        "repro.analysis",
+        "repro.streaming",
+        "repro.bench",
+        "repro.bench.experiments",
+    ],
+)
+class TestSubpackageSurfaces:
+    def test_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_key_errors_are_key_errors(self):
+        from repro.errors import EdgeNotFoundError, NodeNotFoundError
+
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_value_errors_are_value_errors(self):
+        from repro.errors import InvalidRatioError, SelfLoopError
+
+        assert issubclass(InvalidRatioError, ValueError)
+        assert issubclass(SelfLoopError, ValueError)
+
+    def test_catching_base_class_works(self, figure1):
+        from repro import BM2Shedder, ReproError
+
+        with pytest.raises(ReproError):
+            BM2Shedder().reduce(figure1, 5.0)

@@ -1,0 +1,51 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn(ensure_rng(0), 2)
+        a = children[0].integers(0, 10**9, size=8)
+        b = children[1].integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_parent_seed(self):
+        a = spawn(ensure_rng(3), 2)[0].integers(0, 10**9, size=4)
+        b = spawn(ensure_rng(3), 2)[0].integers(0, 10**9, size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)

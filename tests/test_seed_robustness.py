@@ -1,0 +1,71 @@
+"""Multi-seed robustness: the headline orderings are not one-seed flukes.
+
+The integration tests pin the paper's claims for seed 0; these re-check
+the Δ and top-k orderings across several independent seeds and a second
+dataset, requiring the ordering to hold in aggregate.
+"""
+
+import pytest
+
+from repro import (
+    BM2Shedder,
+    CRRShedder,
+    RandomShedder,
+    TopKQueryTask,
+    UDSSummarizer,
+    load_dataset,
+)
+
+SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module", params=["ca-grqc", "ca-hepph"])
+def dataset(request):
+    scale = 0.06 if request.param == "ca-grqc" else 0.02
+    return load_dataset(request.param, scale=scale, seed=0)
+
+
+class TestDeltaOrderingAcrossSeeds:
+    def test_degree_preserving_beats_random_every_seed(self, dataset):
+        for seed in SEEDS:
+            crr = CRRShedder(seed=seed, num_betweenness_sources=64).reduce(dataset, 0.4)
+            bm2 = BM2Shedder(seed=seed).reduce(dataset, 0.4)
+            random_shed = RandomShedder(seed=seed).reduce(dataset, 0.4)
+            assert crr.delta < random_shed.delta
+            assert bm2.delta < random_shed.delta
+
+    def test_uds_worst_on_average(self, dataset):
+        uds_total = 0.0
+        random_total = 0.0
+        for seed in SEEDS:
+            uds_total += UDSSummarizer(
+                seed=seed, num_betweenness_sources=64
+            ).reduce(dataset, 0.4).delta
+            random_total += RandomShedder(seed=seed).reduce(dataset, 0.4).delta
+        assert uds_total > random_total
+
+
+class TestTopKOrderingAcrossSeeds:
+    def test_crr_beats_uds_in_aggregate(self, dataset):
+        task = TopKQueryTask()
+        original = task.compute(dataset)
+        crr_total = 0.0
+        uds_total = 0.0
+        for seed in SEEDS:
+            crr = CRRShedder(seed=seed, num_betweenness_sources=64).reduce(dataset, 0.3)
+            uds = UDSSummarizer(seed=seed, num_betweenness_sources=64).reduce(dataset, 0.3)
+            crr_total += task.utility(original, task.compute_for_result(crr))
+            uds_total += task.utility(original, task.compute_for_result(uds))
+        assert crr_total > uds_total
+
+
+class TestBoundsAcrossSeeds:
+    def test_theorem_bounds_hold_every_seed(self, dataset):
+        from repro import bm2_bound_for_graph, crr_bound_for_graph
+
+        for seed in SEEDS:
+            for p in (0.3, 0.6):
+                crr = CRRShedder(seed=seed, num_betweenness_sources=64).reduce(dataset, p)
+                bm2 = BM2Shedder(seed=seed).reduce(dataset, p)
+                assert crr.average_delta <= crr_bound_for_graph(dataset, p)
+                assert bm2.average_delta <= bm2_bound_for_graph(dataset, p)
