@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.embedding.skipgram import train_skipgram
 from repro.embedding.walks import generate_walks
-from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph, Node
 from repro.rng import RandomState, ensure_rng
 
@@ -52,7 +51,7 @@ def node2vec_embed(
     the remaining hyperparameters are scaled for laptop-class runs.
     """
     rng = ensure_rng(seed)
-    csr = CSRAdjacency.from_graph(graph)
+    csr = graph.csr()
     walks = generate_walks(
         graph,
         num_walks=num_walks,

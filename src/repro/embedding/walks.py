@@ -44,7 +44,7 @@ def generate_walks(
         raise EmbeddingError(f"p and q must be positive, got p={p}, q={q}")
 
     rng = ensure_rng(seed)
-    csr = CSRAdjacency.from_graph(graph)
+    csr = graph.csr()
     uniform = p == 1.0 and q == 1.0
     walks: List[List[int]] = []
 

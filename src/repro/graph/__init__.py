@@ -56,6 +56,14 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Edge, Graph, Node
 from repro.graph.hopplot import hop_plot, reachable_pair_fraction
+from repro.graph.kernels import (
+    bfs_distance_array,
+    bfs_level_sizes,
+    brandes_accumulate,
+    component_ids,
+    distance_histogram,
+)
+from repro.graph.sampling import select_source_ids, select_sources
 from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
 from repro.graph.matching import (
     greedy_b_matching,
@@ -86,6 +94,14 @@ __all__ = [
     "Node",
     "Edge",
     "CSRAdjacency",
+    # array kernels + shared source sampling
+    "brandes_accumulate",
+    "bfs_distance_array",
+    "bfs_level_sizes",
+    "distance_histogram",
+    "component_ids",
+    "select_source_ids",
+    "select_sources",
     # builders
     "from_edges",
     "from_adjacency",

@@ -7,10 +7,20 @@ graphs: one BFS per source with shortest-path counting, then a reverse-order
 dependency sweep.  Complexity O(|V||E|) time, O(|V|+|E|) space — matching the
 figures the paper quotes.
 
+The public functions here are thin wrappers over the CSR-native array
+kernels in :mod:`repro.graph.kernels`: they grab the graph's cached
+:meth:`Graph.csr` snapshot, run the flat-array accumulation, and map raw
+scores back to node labels / canonical edge keys at the boundary.  The
+original dict-of-sets implementation is retained as ``_legacy_*`` —
+it is the reference oracle for the kernel property tests and the baseline
+the micro-benchmarks measure speedups against.
+
 For graphs where exact betweenness is too slow (the resource-constraints
 story), the ``num_sources`` argument switches to source sampling: run the
 accumulation from ``k`` uniformly sampled sources and scale by ``n/k``, an
-unbiased estimator of the exact value.
+unbiased estimator of the exact value.  Sampling is shared with the other
+sweeps via :mod:`repro.graph.sampling`, so identical ``(num_sources, seed)``
+arguments pick identical sources everywhere.
 
 Normalisation follows networkx conventions so our tests can cross-validate:
 unnormalised undirected scores are halved (each unordered pair contributes
@@ -23,7 +33,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.graph.graph import Edge, Graph, Node
+from repro.graph.kernels import brandes_accumulate
+from repro.graph.sampling import select_source_ids, select_sources
 from repro.rng import RandomState, ensure_rng
 
 __all__ = [
@@ -31,6 +45,93 @@ __all__ = [
     "edge_betweenness",
     "top_edges_by_betweenness",
 ]
+
+
+def _node_normalization(n: int, normalized: bool) -> float:
+    if normalized:
+        return float((n - 1) * (n - 2)) if n > 2 else 1.0
+    return 2.0  # each unordered pair was visited from both ends
+
+
+def _edge_normalization(n: int, normalized: bool) -> float:
+    if normalized:
+        return float(n * (n - 1)) if n > 1 else 1.0
+    return 2.0
+
+
+def node_betweenness(
+    graph: Graph,
+    normalized: bool = True,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+) -> Dict[Node, float]:
+    """Betweenness centrality of every node.
+
+    ``num_sources`` enables the sampled estimator; ``None`` is exact.
+    """
+    csr = graph.csr()
+    source_ids, scale = select_source_ids(csr.num_nodes, num_sources, seed)
+    scores = np.zeros(csr.num_nodes, dtype=np.float64)
+    brandes_accumulate(csr, source_ids, node_scores=scores)
+    factor = scale / _node_normalization(graph.num_nodes, normalized)
+    scores *= factor
+    return {label: float(scores[i]) for i, label in enumerate(csr.labels)}
+
+
+def edge_betweenness(
+    graph: Graph,
+    normalized: bool = True,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+) -> Dict[Edge, float]:
+    """Betweenness centrality of every edge (canonical orientation keys).
+
+    This is the ranking signal for CRR phase 1.  ``num_sources`` enables the
+    sampled estimator for resource-constrained runs; ``None`` is exact.
+    """
+    csr = graph.csr()
+    source_ids, scale = select_source_ids(csr.num_nodes, num_sources, seed)
+    half = np.zeros(csr.indices.shape[0], dtype=np.float64)
+    brandes_accumulate(csr, source_ids, edge_scores=half)
+    forward, backward = csr.undirected_entries()
+    totals = half[forward] + half[backward]
+    totals *= scale / _edge_normalization(graph.num_nodes, normalized)
+    u_ids, v_ids = csr.canonical_edge_ids()
+    labels = csr.labels
+    score_of: Dict[Edge, float] = {
+        (labels[u], labels[v]): value
+        for u, v, value in zip(u_ids.tolist(), v_ids.tolist(), totals.tolist())
+    }
+    # Key the result in graph.edges() iteration order — the order the dict
+    # implementation produced, which downstream tie-breaking relies on.
+    return {edge: score_of[edge] for edge in graph.edges()}
+
+
+def top_edges_by_betweenness(
+    graph: Graph,
+    count: int,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+    tie_seed: RandomState = None,
+) -> List[Edge]:
+    """The ``count`` edges of highest betweenness, ties broken randomly.
+
+    The paper specifies that "edges of the same importance are selected
+    randomly"; a seeded shuffle before the stable sort realises exactly that.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    scores = edge_betweenness(graph, normalized=False, num_sources=num_sources, seed=seed)
+    edges = list(scores)
+    rng = ensure_rng(tie_seed)
+    rng.shuffle(edges)
+    edges.sort(key=lambda edge: scores[edge], reverse=True)
+    return edges[:count]
+
+
+# ----------------------------------------------------------------------
+# Legacy dict-of-sets implementation — reference oracle for the kernels
+# ----------------------------------------------------------------------
 
 
 def _adjacency_lists(graph: Graph) -> Dict[Node, List[Node]]:
@@ -67,30 +168,15 @@ def _brandes_sssp(
     return stack, predecessors, sigma
 
 
-def _select_sources(graph: Graph, num_sources: Optional[int], seed: RandomState) -> Tuple[List[Node], float]:
-    """Pick accumulation sources; return (sources, scale factor)."""
-    nodes = list(graph.nodes())
-    if num_sources is None or num_sources >= len(nodes):
-        return nodes, 1.0
-    if num_sources <= 0:
-        raise ValueError(f"num_sources must be positive, got {num_sources}")
-    rng = ensure_rng(seed)
-    picks = rng.choice(len(nodes), size=num_sources, replace=False)
-    return [nodes[i] for i in picks], len(nodes) / num_sources
-
-
-def node_betweenness(
+def _legacy_node_betweenness(
     graph: Graph,
     normalized: bool = True,
     num_sources: Optional[int] = None,
     seed: RandomState = None,
 ) -> Dict[Node, float]:
-    """Betweenness centrality of every node.
-
-    ``num_sources`` enables the sampled estimator; ``None`` is exact.
-    """
+    """Pre-kernel node betweenness over Python dicts (reference/benchmark)."""
     centrality: Dict[Node, float] = dict.fromkeys(graph.nodes(), 0.0)
-    sources, scale = _select_sources(graph, num_sources, seed)
+    sources, scale = select_sources(graph, num_sources, seed)
     adjacency = _adjacency_lists(graph)
     for source in sources:
         stack, predecessors, sigma = _brandes_sssp(adjacency, source)
@@ -103,28 +189,19 @@ def node_betweenness(
             if node != source:
                 centrality[node] += delta[node]
         # ``delta`` only covers reachable nodes; unreachable ones add 0.
-    n = graph.num_nodes
-    if normalized:
-        denominator = (n - 1) * (n - 2) if n > 2 else 1.0
-    else:
-        denominator = 2.0  # each unordered pair was visited from both ends
-    factor = scale / denominator
+    factor = scale / _node_normalization(graph.num_nodes, normalized)
     return {node: value * factor for node, value in centrality.items()}
 
 
-def edge_betweenness(
+def _legacy_edge_betweenness(
     graph: Graph,
     normalized: bool = True,
     num_sources: Optional[int] = None,
     seed: RandomState = None,
 ) -> Dict[Edge, float]:
-    """Betweenness centrality of every edge (canonical orientation keys).
-
-    This is the ranking signal for CRR phase 1.  ``num_sources`` enables the
-    sampled estimator for resource-constrained runs; ``None`` is exact.
-    """
+    """Pre-kernel edge betweenness over Python dicts (reference/benchmark)."""
     centrality: Dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
-    sources, scale = _select_sources(graph, num_sources, seed)
+    sources, scale = select_sources(graph, num_sources, seed)
     adjacency = _adjacency_lists(graph)
     for source in sources:
         stack, predecessors, sigma = _brandes_sssp(adjacency, source)
@@ -136,30 +213,23 @@ def edge_betweenness(
                 contribution = sigma[predecessor] * coefficient
                 centrality[graph.canonical_edge(predecessor, node)] += contribution
                 delta[predecessor] += contribution
-    n = graph.num_nodes
-    if normalized:
-        denominator = n * (n - 1) if n > 1 else 1.0
-    else:
-        denominator = 2.0
-    factor = scale / denominator
+    factor = scale / _edge_normalization(graph.num_nodes, normalized)
     return {edge: value * factor for edge, value in centrality.items()}
 
 
-def top_edges_by_betweenness(
+def _legacy_top_edges_by_betweenness(
     graph: Graph,
     count: int,
     num_sources: Optional[int] = None,
     seed: RandomState = None,
     tie_seed: RandomState = None,
 ) -> List[Edge]:
-    """The ``count`` edges of highest betweenness, ties broken randomly.
-
-    The paper specifies that "edges of the same importance are selected
-    randomly"; a seeded shuffle before the stable sort realises exactly that.
-    """
+    """Pre-kernel top-k selection (reference for bit-for-bit comparisons)."""
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    scores = edge_betweenness(graph, normalized=False, num_sources=num_sources, seed=seed)
+    scores = _legacy_edge_betweenness(
+        graph, normalized=False, num_sources=num_sources, seed=seed
+    )
     edges = list(scores)
     rng = ensure_rng(tie_seed)
     rng.shuffle(edges)

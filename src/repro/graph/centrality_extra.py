@@ -12,10 +12,10 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph, Node
-from repro.graph.traversal import bfs_distances
-from repro.rng import RandomState, ensure_rng
+from repro.graph.kernels import bfs_level_sizes
+from repro.graph.sampling import select_source_ids
+from repro.rng import RandomState
 
 __all__ = ["closeness_centrality", "eigenvector_centrality"]
 
@@ -31,22 +31,24 @@ def closeness_centrality(
     ``u``'s reachable set — the convention networkx uses, so disconnected
     graphs are handled gracefully.  ``num_sources`` restricts computation
     to a sampled subset of nodes (the rest are omitted from the result).
+
+    Each source's reachable count and distance sum come from the CSR BFS
+    kernel's per-level sizes — no per-node distance dict is built.
     """
-    nodes = list(graph.nodes())
-    if num_sources is not None and num_sources < len(nodes):
-        rng = ensure_rng(seed)
-        picks = rng.choice(len(nodes), size=num_sources, replace=False)
-        nodes = [nodes[i] for i in picks]
+    csr = graph.csr()
     n = graph.num_nodes
+    source_ids, _ = select_source_ids(n, num_sources, seed)
     centrality: Dict[Node, float] = {}
-    for node in nodes:
-        distances = bfs_distances(graph, node)
-        reachable = len(distances)
-        total = sum(distances.values())
+    for source in source_ids.tolist():
+        sizes = bfs_level_sizes(csr, source)
+        reachable = 1 + sum(sizes)
+        total = sum(depth * size for depth, size in enumerate(sizes, start=1))
         if total == 0 or n <= 1:
-            centrality[node] = 0.0
+            centrality[csr.labels[source]] = 0.0
             continue
-        centrality[node] = ((reachable - 1) / (n - 1)) * ((reachable - 1) / total)
+        centrality[csr.labels[source]] = ((reachable - 1) / (n - 1)) * (
+            (reachable - 1) / total
+        )
     return centrality
 
 
@@ -67,7 +69,7 @@ def eigenvector_centrality(
     if graph.num_edges == 0:
         # A = 0: the only fixed point is the zero vector.
         return {node: 0.0 for node in graph.nodes()}
-    csr = CSRAdjacency.from_graph(graph)
+    csr = graph.csr()
     vector = np.full(n, 1.0 / np.sqrt(n), dtype=np.float64)
     lengths = np.diff(csr.indptr)
     row_of_entry = np.repeat(np.arange(n), lengths)

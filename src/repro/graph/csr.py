@@ -1,16 +1,28 @@
 """Compressed-sparse-row adjacency export.
 
-The numpy-heavy kernels (PageRank power iteration, embedding training,
-sampled BFS sweeps) want a flat integer adjacency instead of Python sets.
-:class:`CSRAdjacency` is an immutable snapshot of a :class:`Graph`: node
-labels are frozen into positions ``0..n-1`` (insertion order) and neighbour
-lists are concatenated into one array with an offsets index.
+The numpy-heavy kernels (Brandes betweenness, BFS sweeps, PageRank power
+iteration, embedding training) want a flat integer adjacency instead of
+Python sets.  :class:`CSRAdjacency` is an immutable snapshot of a
+:class:`Graph`: node labels are frozen into positions ``0..n-1``
+(insertion order) and neighbour lists are concatenated into one array
+with an offsets index.
+
+Because ids follow insertion order and :meth:`Graph.canonical_edge`
+orients edges earlier-inserted-endpoint-first, the canonical orientation
+of any edge is simply ``(labels[min(u, v)], labels[max(u, v)])`` in id
+space — which is what lets the array kernels map half-edge scores back
+to canonical :data:`Edge` keys without consulting the originating graph.
+
+Snapshots are usually obtained via :meth:`Graph.csr`, which caches one
+per graph and invalidates it on mutation, so back-to-back array
+computations (PageRank, betweenness, BFS sweeps, embeddings) share a
+single build.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -25,8 +37,9 @@ class CSRAdjacency:
 
     Attributes:
         indptr: ``int64[n+1]`` — neighbour slice boundaries per node.
-        indices: ``int64[2m]`` — concatenated neighbour ids.
-        labels: original node label for each integer id.
+        indices: ``int64[2m]`` — concatenated neighbour ids, sorted within
+            each slice (the canonical CSR form).
+        labels: original node label for each integer id (insertion order).
         index_of: original node label -> integer id.
     """
 
@@ -34,26 +47,37 @@ class CSRAdjacency:
     indices: np.ndarray
     labels: List[Node]
     index_of: Dict[Node, int]
+    #: Lazily-built derived arrays (entry heads, undirected entry pairing).
+    _derived: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRAdjacency":
         labels = list(graph.nodes())
         index_of = {node: i for i, node in enumerate(labels)}
         n = len(labels)
-        degrees = np.zeros(n + 1, dtype=np.int64)
-        for i, node in enumerate(labels):
-            degrees[i + 1] = graph.degree(node)
-        indptr = np.cumsum(degrees)
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for i, node in enumerate(labels):
-            for neighbor in graph.neighbors(node):
-                indices[cursor[i]] = index_of[neighbor]
-                cursor[i] += 1
-        # Sort each neighbour slice so the CSR form is canonical.
-        for i in range(n):
-            lo, hi = indptr[i], indptr[i + 1]
-            indices[lo:hi].sort()
+        m = graph.num_edges
+        if m == 0:
+            return cls(
+                indptr=np.zeros(n + 1, dtype=np.int64),
+                indices=np.empty(0, dtype=np.int64),
+                labels=labels,
+                index_of=index_of,
+            )
+        # One pass over the edge list, then pure array ops: lexsorting the
+        # 2m half-edges by (head, tail) yields the offsets *and* the
+        # per-slice sorted neighbour order in one shot.
+        endpoint_ids = np.fromiter(
+            (index_of[endpoint] for edge in graph.edges() for endpoint in edge),
+            dtype=np.int64,
+            count=2 * m,
+        )
+        u, v = endpoint_ids[0::2], endpoint_ids[1::2]
+        heads = np.concatenate([u, v])
+        tails = np.concatenate([v, u])
+        order = np.lexsort((tails, heads))
+        indices = np.ascontiguousarray(tails[order])
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
         return cls(indptr=indptr, indices=indices, labels=labels, index_of=index_of)
 
     @property
@@ -71,3 +95,40 @@ class CSRAdjacency:
     def degree_array(self) -> np.ndarray:
         """``int64[n]`` of node degrees in id order."""
         return np.diff(self.indptr)
+
+    def entry_heads(self) -> np.ndarray:
+        """``int64[2m]`` — the head (owning row) of each CSR entry."""
+        if "heads" not in self._derived:
+            self._derived["heads"] = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._derived["heads"]
+
+    def undirected_entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Pair up the two oriented CSR entries of each undirected edge.
+
+        Returns ``(forward, backward)`` position arrays of length ``m``:
+        ``forward[k]`` is the entry ``(u, v)`` with ``u < v`` (in id
+        space, i.e. canonical orientation) and ``backward[k]`` is its
+        reverse entry ``(v, u)``.  Edge ``k`` enumerates the edge set in
+        lexicographic ``(u, v)`` id order.  Used to fold half-edge score
+        arrays into per-edge totals.
+        """
+        if "pairs" not in self._derived:
+            heads = self.entry_heads()
+            tails = self.indices
+            forward = np.nonzero(heads < tails)[0]
+            backward = np.nonzero(heads > tails)[0]
+            # Forward entries already run in (u, v) order (CSR position
+            # order); sort backward entries by (tail, head) to align.
+            backward = backward[np.lexsort((heads[backward], tails[backward]))]
+            self._derived["pairs"] = (forward, backward)
+        return self._derived["pairs"]
+
+    def canonical_edge_ids(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(u_ids, v_ids)`` of every edge, canonical orientation, length ``m``.
+
+        Aligned with :meth:`undirected_entries`' edge enumeration.
+        """
+        forward, _ = self.undirected_entries()
+        return self.entry_heads()[forward], self.indices[forward]

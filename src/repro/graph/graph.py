@@ -12,9 +12,12 @@ every seeded experiment — deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.errors import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.csr import CSRAdjacency
 
 __all__ = ["Graph", "Node", "Edge"]
 
@@ -36,7 +39,7 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_order", "_num_edges", "_next_order")
+    __slots__ = ("_adj", "_order", "_num_edges", "_next_order", "_csr_cache")
 
     def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()) -> None:
         #: node -> set of neighbouring nodes
@@ -47,6 +50,8 @@ class Graph:
         self._order: Dict[Node, int] = {}
         self._next_order = 0
         self._num_edges = 0
+        #: memoised CSR snapshot; dropped on any mutation.
+        self._csr_cache: Optional["CSRAdjacency"] = None
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -63,6 +68,7 @@ class Graph:
         self._adj[node] = set()
         self._order[node] = self._next_order
         self._next_order += 1
+        self._csr_cache = None
         return True
 
     def add_edge(self, u: Node, v: Node) -> bool:
@@ -80,6 +86,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: Node, v: Node) -> None:
@@ -89,6 +96,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._csr_cache = None
 
     def discard_edge(self, u: Node, v: Node) -> bool:
         """Remove edge ``(u, v)`` if present; return whether it was removed."""
@@ -97,6 +105,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._csr_cache = None
         return True
 
     def remove_node(self, node: Node) -> None:
@@ -108,6 +117,7 @@ class Graph:
         self._num_edges -= len(self._adj[node])
         del self._adj[node]
         del self._order[node]
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Inspection
@@ -190,6 +200,25 @@ class Graph:
         return 2.0 * self._num_edges / (n * (n - 1))
 
     # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+
+    def csr(self) -> "CSRAdjacency":
+        """The CSR snapshot of this graph, memoised until the next mutation.
+
+        Array-based code (betweenness/BFS kernels, PageRank, embeddings)
+        calls this instead of :meth:`CSRAdjacency.from_graph` so that
+        back-to-back computations on an unchanged graph share one build.
+        Any mutation (node/edge add or remove) drops the cache; the
+        returned snapshot itself is immutable and stays valid.
+        """
+        if self._csr_cache is None:
+            from repro.graph.csr import CSRAdjacency
+
+            self._csr_cache = CSRAdjacency.from_graph(self)
+        return self._csr_cache
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
 
@@ -200,6 +229,9 @@ class Graph:
         clone._order = dict(self._order)
         clone._next_order = self._next_order
         clone._num_edges = self._num_edges
+        # The snapshot is immutable and describes the same structure, so
+        # the clone can share it until either side mutates.
+        clone._csr_cache = self._csr_cache
         return clone
 
     def edge_subgraph(self, edges: Iterable[Edge], keep_all_nodes: bool = True) -> "Graph":

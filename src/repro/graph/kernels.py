@@ -1,0 +1,260 @@
+"""CSR-native array kernels for per-source graph traversals.
+
+This module is the hot path of the whole library.  CRR's Phase-1 edge
+ranking, the node-betweenness evaluation task, the shortest-path and
+hop-plot sweeps, and closeness centrality all reduce to the same inner
+loop: one BFS per source over an unweighted graph, plus (for betweenness)
+Brandes' reverse dependency accumulation.  Running that loop over Python
+dicts-of-sets costs a dict operation per traversed edge; these kernels
+instead operate on a :class:`CSRAdjacency` snapshot with flat numpy
+arrays — ``int64`` distances, ``float64`` path counts and dependencies —
+and process each BFS *level* as one vectorised batch.
+
+Key representation choices:
+
+* **No predecessor lists.**  Brandes' classic formulation stores explicit
+  predecessor lists per node.  In an unweighted graph a neighbour ``v`` of
+  ``w`` is a predecessor iff ``dist[v] == dist[w] - 1``, so the reverse
+  sweep re-derives predecessors from the CSR neighbour slices with one
+  vectorised mask per level — no per-source allocation beyond three flat
+  scratch arrays.
+* **Half-edge accumulation.**  Edge betweenness accumulates into a
+  ``float64[2m]`` array indexed by CSR *entry position* (a "half-edge":
+  the slot of neighbour ``v`` inside ``w``'s slice).  Per level the
+  touched entry positions are distinct, so accumulation is a plain fancy
+  ``+=``.  The two oriented halves of each undirected edge are folded
+  together only at the API boundary
+  (:meth:`CSRAdjacency.undirected_entries`).
+* **Identical arithmetic.**  Each scalar contribution is computed by the
+  same formula as the legacy dict implementation
+  (``sigma[v] * (1 + delta[w]) / sigma[w]``); shortest-path counts are
+  integers represented exactly in ``float64``, so ``sigma`` is bit-exact
+  and only the *summation order* of ``delta`` differs — scores match the
+  dict implementation to ~1e-12 relative (property-tested to 1e-9).
+
+The functions here speak integer node ids and raw (unnormalised,
+both-directions) scores.  Normalisation conventions, label mapping, and
+seeded source sampling live in the wrappers
+(:mod:`repro.graph.centrality`, :mod:`repro.graph.shortest_paths`,
+:mod:`repro.graph.centrality_extra`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRAdjacency
+
+__all__ = [
+    "brandes_accumulate",
+    "bfs_distance_array",
+    "bfs_level_sizes",
+    "distance_histogram",
+    "component_ids",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _expand(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All CSR entries of ``frontier`` nodes, as one flat batch.
+
+    Returns ``(positions, targets, rep)`` where ``positions`` indexes into
+    ``indices`` (the half-edge ids), ``targets = indices[positions]``, and
+    ``rep`` maps each entry back to its row in ``frontier``.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    ends = np.cumsum(counts)
+    # Entry t of frontier row k lands at output offset (ends[k]-counts[k])+t
+    # and must read CSR position starts[k]+t.
+    positions = np.repeat(starts - ends + counts, counts) + np.arange(total)
+    return positions, indices[positions], np.repeat(np.arange(frontier.shape[0]), counts)
+
+
+def _scatter_add(out: np.ndarray, targets: np.ndarray, values: np.ndarray) -> None:
+    """``out[targets] += values`` with duplicate targets accumulated.
+
+    ``np.bincount`` is much faster than ``np.add.at`` for the dense
+    frontiers BFS produces; fall back to ``add.at`` when the batch is tiny
+    relative to the array (bincount would be dominated by its allocation).
+    """
+    if targets.shape[0] * 8 < out.shape[0]:
+        np.add.at(out, targets, values)
+    else:
+        out += np.bincount(targets, weights=values, minlength=out.shape[0])
+
+
+def brandes_accumulate(
+    csr: CSRAdjacency,
+    sources: Iterable[int],
+    node_scores: Optional[np.ndarray] = None,
+    edge_scores: Optional[np.ndarray] = None,
+) -> None:
+    """Brandes' betweenness accumulation from each source id, summed in place.
+
+    Args:
+        csr: the adjacency snapshot.
+        sources: integer node ids to run the accumulation from.
+        node_scores: ``float64[n]`` — raw node dependencies are added here
+            (every source contributes ``delta[v]`` for each reached
+            ``v != source``), or ``None`` to skip node accumulation.
+        edge_scores: ``float64[2m]`` half-edge array — each shortest-path
+            DAG edge's contribution is added at the CSR entry position of
+            its deeper endpoint's slice, or ``None`` to skip.  Fold with
+            :meth:`CSRAdjacency.undirected_entries` to get per-edge totals.
+
+    Raw scores follow the legacy dict implementation's convention: nothing
+    is normalised and each unordered pair contributes from both endpoints.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    n = csr.num_nodes
+    dist = np.empty(n, dtype=np.int64)
+    sigma = np.empty(n, dtype=np.float64)
+    delta = np.empty(n, dtype=np.float64)
+    for source in np.asarray(list(sources), dtype=np.int64):
+        dist.fill(-1)
+        sigma.fill(0.0)
+        dist[source] = 0
+        sigma[source] = 1.0
+        levels: List[np.ndarray] = [np.array([source], dtype=np.int64)]
+        # Per level, the backward sweep's pre-extracted batch: the CSR
+        # entries pointing one level *up* (node -> predecessor).  Built
+        # during the forward pass — a neighbour at depth-1 already has its
+        # final distance when the depth-level batch is expanded — so the
+        # CSR slices are gathered exactly once per source.
+        rootward: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (_EMPTY, _EMPTY, _EMPTY)
+        ]
+        # Forward: level-synchronous BFS with shortest-path counting.
+        depth = 0
+        while True:
+            positions, targets, rep = _expand(indptr, indices, levels[-1])
+            target_depths = dist[targets]
+            toward_root = target_depths == depth - 1
+            rootward.append((positions[toward_root], targets[toward_root], rep[toward_root]))
+            fresh = target_depths < 0
+            fresh_targets = targets[fresh]
+            if fresh_targets.shape[0] == 0:
+                break
+            depth += 1
+            # Mark-then-scan dedup: cheaper than np.unique's sort, and the
+            # scan yields the same ascending id order.
+            dist[fresh_targets] = depth
+            next_level = np.nonzero(dist == depth)[0]
+            # Every (level d -> level d+1) CSR entry appears exactly once in
+            # this batch, so sigma sums all predecessor path counts.
+            _scatter_add(sigma, fresh_targets, sigma[levels[-1]][rep[fresh]])
+            levels.append(next_level)
+        # Backward: dependency accumulation, deepest level first.  All
+        # successors of a node sit exactly one level deeper, so each
+        # delta[v] is fully accumulated within a single batch.
+        delta.fill(0.0)
+        for depth in range(len(levels) - 1, 0, -1):
+            frontier = levels[depth]
+            positions, predecessors, rep = rootward[depth + 1]
+            coefficient = (1.0 + delta[frontier]) / sigma[frontier]
+            contribution = sigma[predecessors] * coefficient[rep]
+            _scatter_add(delta, predecessors, contribution)
+            if edge_scores is not None:
+                # Entry positions are distinct within one batch (one slot
+                # per CSR entry), so a fancy += accumulates correctly.
+                edge_scores[positions] += contribution
+        if node_scores is not None:
+            for frontier in levels[1:]:
+                node_scores[frontier] += delta[frontier]
+
+
+def bfs_distance_array(
+    csr: CSRAdjacency, source: int, cutoff: Optional[int] = None
+) -> np.ndarray:
+    """Hop distances from ``source`` as ``int64[n]`` (-1 for unreachable).
+
+    ``cutoff`` bounds the search depth (inclusive), matching
+    :func:`repro.graph.traversal.bfs_distances`.
+    """
+    n = csr.num_nodes
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (cutoff is None or depth < cutoff):
+        _, targets, _ = _expand(csr.indptr, csr.indices, frontier)
+        fresh = targets[dist[targets] < 0]
+        if fresh.size == 0:
+            break
+        depth += 1
+        dist[fresh] = depth
+        frontier = np.nonzero(dist == depth)[0]
+    return dist
+
+
+def bfs_level_sizes(csr: CSRAdjacency, source: int) -> List[int]:
+    """Number of nodes at each hop distance ``1, 2, ...`` from ``source``.
+
+    The summary every distance sweep needs: level ``d``'s size is the count
+    of nodes at distance exactly ``d``, so distance histograms, closeness
+    sums, and hop-plots never materialise per-node dictionaries.
+    """
+    dist = np.full(csr.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    sizes: List[int] = []
+    while frontier.size:
+        _, targets, _ = _expand(csr.indptr, csr.indices, frontier)
+        fresh = targets[dist[targets] < 0]
+        if fresh.size == 0:
+            break
+        dist[fresh] = len(sizes) + 1
+        frontier = np.nonzero(dist == len(sizes) + 1)[0]
+        sizes.append(int(frontier.size))
+    return sizes
+
+
+def distance_histogram(csr: CSRAdjacency, sources: Iterable[int]) -> np.ndarray:
+    """Counts of (source, node) pairs per hop distance, over all ``sources``.
+
+    Returns ``int64[max_distance + 1]`` with index = distance; index 0 is
+    always 0 (a node is not a pair with itself).  This is the array form of
+    :func:`repro.graph.shortest_paths.pairwise_distance_counts`.
+    """
+    counts: List[int] = [0]
+    for source in sources:
+        sizes = bfs_level_sizes(csr, int(source))
+        if len(sizes) >= len(counts):
+            counts.extend([0] * (len(sizes) - len(counts) + 1))
+        for depth, size in enumerate(sizes, start=1):
+            counts[depth] += size
+    return np.asarray(counts, dtype=np.int64)
+
+
+def component_ids(csr: CSRAdjacency) -> np.ndarray:
+    """Connected-component label per node, ``int64[n]``.
+
+    Components are numbered 0, 1, ... in order of their first node's id
+    (= insertion order), so the labelling is deterministic.
+    """
+    n = csr.num_nodes
+    component = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for seed in range(n):
+        if component[seed] >= 0:
+            continue
+        component[seed] = next_label
+        frontier = np.array([seed], dtype=np.int64)
+        while frontier.size:
+            _, targets, _ = _expand(csr.indptr, csr.indices, frontier)
+            fresh = targets[component[targets] < 0]
+            if fresh.size == 0:
+                break
+            component[fresh] = next_label
+            frontier = fresh
+        next_label += 1
+    return component

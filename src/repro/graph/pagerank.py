@@ -14,7 +14,6 @@ from typing import Dict, List
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph, Node
 
 __all__ = ["pagerank", "top_k_nodes"]
@@ -32,7 +31,7 @@ def pagerank(
     n = graph.num_nodes
     if n == 0:
         return {}
-    csr = CSRAdjacency.from_graph(graph)
+    csr = graph.csr()
     degrees = csr.degree_array().astype(np.float64)
     dangling = degrees == 0
     inverse_degree = np.zeros(n, dtype=np.float64)

@@ -2,83 +2,102 @@
 
 Brandes' accumulation is embarrassingly parallel over sources: each
 worker processes a slice of the source set and partial scores sum.  On a
-multi-core laptop this divides CRR's dominant cost by the worker count
+multi-core machine this divides CRR's dominant cost by the worker count
 without changing any result — a practical lever for the paper's
 resource-constraints setting.
 
-Workers receive the graph via fork/pickle; for the graph sizes this
-library targets (≤ a few hundred thousand edges) the transfer cost is
-dwarfed by the accumulation work.
+Workers do not receive the :class:`Graph` at all: the pool initializer
+ships the three flat CSR arrays (``indptr``, ``indices``, and the node
+count they imply) exactly once, each worker runs the array kernel
+(:func:`repro.graph.kernels.brandes_accumulate`) over its source-id
+slice, and the returned partial ``float64`` arrays are summed with
+``np.add``.  Labels and canonical edge keys only appear in the parent,
+at the API boundary — the same mapping the serial wrappers use.
+
+The pool uses an explicit start method: ``fork`` where the platform
+offers it (cheapest — the arrays are inherited copy-on-write), falling
+back to ``spawn`` elsewhere (macOS, Windows), where the two arrays are
+pickled once per worker.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional
+from functools import reduce
+from typing import Dict, List, Optional, Tuple
 
-from repro.graph.centrality import _adjacency_lists, _brandes_sssp, _select_sources
+import numpy as np
+
+from repro.graph.centrality import (
+    _edge_normalization,
+    _node_normalization,
+    edge_betweenness,
+    node_betweenness,
+)
+from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Edge, Graph, Node
+from repro.graph.kernels import brandes_accumulate
+from repro.graph.sampling import select_source_ids
 from repro.rng import RandomState
 
 __all__ = ["parallel_edge_betweenness", "parallel_node_betweenness"]
 
 # Module-level worker state: set once per worker via the pool initializer
-# so the graph is shipped a single time rather than per task.
-_WORKER_GRAPH: Optional[Graph] = None
+# so the CSR arrays are shipped a single time rather than per task.
+_WORKER_CSR: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
 
-def _init_worker(graph: Graph) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = graph
+def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
+    global _WORKER_CSR
+    _WORKER_CSR = (indptr, indices)
 
 
-def _edge_chunk(sources: List[Node]) -> Dict[Edge, float]:
-    graph = _WORKER_GRAPH
-    assert graph is not None, "worker initialised without a graph"
-    partial: Dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
-    adjacency = _adjacency_lists(graph)
-    for source in sources:
-        stack, predecessors, sigma = _brandes_sssp(adjacency, source)
-        delta: Dict[Node, float] = dict.fromkeys(stack, 0.0)
-        while stack:
-            node = stack.pop()
-            coefficient = (1.0 + delta[node]) / sigma[node]
-            for predecessor in predecessors[node]:
-                contribution = sigma[predecessor] * coefficient
-                partial[graph.canonical_edge(predecessor, node)] += contribution
-                delta[predecessor] += contribution
+def _worker_snapshot() -> CSRAdjacency:
+    assert _WORKER_CSR is not None, "worker initialised without CSR arrays"
+    indptr, indices = _WORKER_CSR
+    # Kernels only touch indptr/indices; labels are resolved in the parent.
+    n = indptr.shape[0] - 1
+    return CSRAdjacency(
+        indptr=indptr, indices=indices, labels=list(range(n)), index_of={}
+    )
+
+
+def _edge_chunk(source_ids: np.ndarray) -> np.ndarray:
+    csr = _worker_snapshot()
+    partial = np.zeros(csr.indices.shape[0], dtype=np.float64)
+    brandes_accumulate(csr, source_ids, edge_scores=partial)
     return partial
 
 
-def _node_chunk(sources: List[Node]) -> Dict[Node, float]:
-    graph = _WORKER_GRAPH
-    assert graph is not None, "worker initialised without a graph"
-    partial: Dict[Node, float] = dict.fromkeys(graph.nodes(), 0.0)
-    adjacency = _adjacency_lists(graph)
-    for source in sources:
-        stack, predecessors, sigma = _brandes_sssp(adjacency, source)
-        delta: Dict[Node, float] = dict.fromkeys(stack, 0.0)
-        while stack:
-            node = stack.pop()
-            coefficient = (1.0 + delta[node]) / sigma[node]
-            for predecessor in predecessors[node]:
-                delta[predecessor] += sigma[predecessor] * coefficient
-            if node != source:
-                partial[node] += delta[node]
+def _node_chunk(source_ids: np.ndarray) -> np.ndarray:
+    csr = _worker_snapshot()
+    partial = np.zeros(csr.num_nodes, dtype=np.float64)
+    brandes_accumulate(csr, source_ids, node_scores=partial)
     return partial
 
 
-def _split(sources: List[Node], chunks: int) -> List[List[Node]]:
-    size = max(1, (len(sources) + chunks - 1) // chunks)
-    return [sources[i : i + size] for i in range(0, len(sources), size)]
+def _split(source_ids: np.ndarray, chunks: int) -> List[np.ndarray]:
+    size = max(1, (len(source_ids) + chunks - 1) // chunks)
+    return [source_ids[i : i + size] for i in range(0, len(source_ids), size)]
 
 
-def _run_parallel(graph: Graph, sources: List[Node], num_workers: int, worker) -> List[dict]:
-    context = multiprocessing.get_context()
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap COW inheritance), spawn elsewhere."""
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(method)
+
+
+def _run_parallel(
+    csr: CSRAdjacency, source_ids: np.ndarray, num_workers: int, worker
+) -> np.ndarray:
+    context = _pool_context()
     with context.Pool(
-        processes=num_workers, initializer=_init_worker, initargs=(graph,)
+        processes=num_workers,
+        initializer=_init_worker,
+        initargs=(csr.indptr, csr.indices),
     ) as pool:
-        return pool.map(worker, _split(sources, num_workers))
+        partials = pool.map(worker, _split(source_ids, num_workers))
+    return reduce(np.add, partials)
 
 
 def parallel_edge_betweenness(
@@ -91,22 +110,23 @@ def parallel_edge_betweenness(
     """Edge betweenness, identical to the serial result, across processes."""
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-    sources, scale = _select_sources(graph, num_sources, seed)
-    if num_workers == 1 or len(sources) <= 1:
-        from repro.graph.centrality import edge_betweenness
-
+    csr = graph.csr()
+    source_ids, scale = select_source_ids(csr.num_nodes, num_sources, seed)
+    if num_workers == 1 or len(source_ids) <= 1:
         return edge_betweenness(
             graph, normalized=normalized, num_sources=num_sources, seed=seed
         )
-    partials = _run_parallel(graph, sources, num_workers, _edge_chunk)
-    totals: Dict[Edge, float] = {edge: 0.0 for edge in graph.edges()}
-    for partial in partials:
-        for edge, value in partial.items():
-            totals[edge] += value
-    n = graph.num_nodes
-    denominator = (n * (n - 1) if n > 1 else 1.0) if normalized else 2.0
-    factor = scale / denominator
-    return {edge: value * factor for edge, value in totals.items()}
+    half = _run_parallel(csr, source_ids, num_workers, _edge_chunk)
+    forward, backward = csr.undirected_entries()
+    totals = half[forward] + half[backward]
+    totals *= scale / _edge_normalization(graph.num_nodes, normalized)
+    u_ids, v_ids = csr.canonical_edge_ids()
+    labels = csr.labels
+    score_of: Dict[Edge, float] = {
+        (labels[u], labels[v]): value
+        for u, v, value in zip(u_ids.tolist(), v_ids.tolist(), totals.tolist())
+    }
+    return {edge: score_of[edge] for edge in graph.edges()}
 
 
 def parallel_node_betweenness(
@@ -119,19 +139,12 @@ def parallel_node_betweenness(
     """Node betweenness, identical to the serial result, across processes."""
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-    sources, scale = _select_sources(graph, num_sources, seed)
-    if num_workers == 1 or len(sources) <= 1:
-        from repro.graph.centrality import node_betweenness
-
+    csr = graph.csr()
+    source_ids, scale = select_source_ids(csr.num_nodes, num_sources, seed)
+    if num_workers == 1 or len(source_ids) <= 1:
         return node_betweenness(
             graph, normalized=normalized, num_sources=num_sources, seed=seed
         )
-    partials = _run_parallel(graph, sources, num_workers, _node_chunk)
-    totals: Dict[Node, float] = dict.fromkeys(graph.nodes(), 0.0)
-    for partial in partials:
-        for node, value in partial.items():
-            totals[node] += value
-    n = graph.num_nodes
-    denominator = ((n - 1) * (n - 2) if n > 2 else 1.0) if normalized else 2.0
-    factor = scale / denominator
-    return {node: value * factor for node, value in totals.items()}
+    scores = _run_parallel(csr, source_ids, num_workers, _node_chunk)
+    scores *= scale / _node_normalization(graph.num_nodes, normalized)
+    return {label: float(scores[i]) for i, label in enumerate(csr.labels)}

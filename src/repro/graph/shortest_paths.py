@@ -10,12 +10,14 @@ distribution shape the figures compare.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph, Node
+from repro.graph.kernels import distance_histogram
+from repro.graph.sampling import select_source_ids
 from repro.graph.traversal import bfs_distances
-from repro.rng import RandomState, ensure_rng
+from repro.rng import RandomState
 
 __all__ = [
     "single_source_distances",
@@ -31,15 +33,6 @@ def single_source_distances(graph: Graph, source: Node) -> Dict[Node, int]:
     return bfs_distances(graph, source)
 
 
-def _sample_sources(graph: Graph, num_sources: Optional[int], seed: RandomState) -> Sequence[Node]:
-    nodes = list(graph.nodes())
-    if num_sources is None or num_sources >= len(nodes):
-        return nodes
-    rng = ensure_rng(seed)
-    picks = rng.choice(len(nodes), size=num_sources, replace=False)
-    return [nodes[i] for i in picks]
-
-
 def pairwise_distance_counts(
     graph: Graph,
     num_sources: Optional[int] = None,
@@ -51,13 +44,18 @@ def pairwise_distance_counts(
     ordered pair once (so every unordered pair is counted twice, which cancels
     out when normalising).  With sampling, counts are from the sampled sources
     only — an unbiased estimate of the distribution.
+
+    The per-source sweep runs on the CSR kernel
+    (:func:`repro.graph.kernels.distance_histogram`): each BFS only tallies
+    level sizes, never a per-node dictionary.  Source sampling is shared
+    with betweenness via :mod:`repro.graph.sampling`.
     """
-    counts: Counter = Counter()
-    for source in _sample_sources(graph, num_sources, seed):
-        for distance in bfs_distances(graph, source).values():
-            if distance > 0:
-                counts[distance] += 1
-    return counts
+    csr = graph.csr()
+    source_ids, _ = select_source_ids(csr.num_nodes, num_sources, seed)
+    histogram = distance_histogram(csr, source_ids)
+    return Counter(
+        {distance: int(count) for distance, count in enumerate(histogram) if count > 0}
+    )
 
 
 def distance_distribution(

@@ -3,6 +3,15 @@
 These are the workhorses underneath shortest-path distributions, hop-plots,
 and the connectivity checks the benchmarks use to compare how well each
 shedding method preserves the topology.
+
+Whole-graph sweeps (:func:`connected_components` and friends) run on the
+CSR array kernels in :mod:`repro.graph.kernels`.  The single-source dict
+APIs (:func:`bfs_distances` with ``cutoff``, :func:`bfs_layers`)
+intentionally stay on the adjacency-set representation: they are used for
+*local* explorations (2-hop neighbourhoods, one-off reachability) where
+touching only the reached region beats the kernel's O(|V|) per-call array
+setup.  The hot per-source *sweeps* live in
+:mod:`repro.graph.shortest_paths` and :mod:`repro.graph.centrality`.
 """
 
 from __future__ import annotations
@@ -72,15 +81,20 @@ def bfs_order(graph: Graph, source: Node) -> List[Node]:
 
 
 def connected_components(graph: Graph) -> List[Set[Node]]:
-    """All connected components, largest-first."""
-    seen: Set[Node] = set()
+    """All connected components, largest-first.
+
+    Runs on the CSR kernel (:func:`repro.graph.kernels.component_ids`);
+    ties in size keep discovery (insertion) order, as before.
+    """
+    from repro.graph.kernels import component_ids
+
+    csr = graph.csr()
+    labels = component_ids(csr)
     components: List[Set[Node]] = []
-    for node in graph.nodes():
-        if node in seen:
-            continue
-        component = set(bfs_distances(graph, node))
-        seen |= component
-        components.append(component)
+    for node_id, component in enumerate(labels.tolist()):
+        if component == len(components):
+            components.append(set())
+        components[component].add(csr.labels[node_id])
     components.sort(key=len, reverse=True)
     return components
 

@@ -9,6 +9,8 @@ the cheap qualitative assertions (e.g. BM2 faster than UDS).
 import pytest
 
 import repro.bench.harness as harness
+
+pytestmark = pytest.mark.slow
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,
     ablations,

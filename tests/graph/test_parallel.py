@@ -4,6 +4,7 @@ import pytest
 
 from repro.graph import (
     edge_betweenness,
+    erdos_renyi,
     node_betweenness,
     parallel_edge_betweenness,
     parallel_node_betweenness,
@@ -41,6 +42,36 @@ class TestParallelEdgeBetweenness:
         )
         assert len(parallel) == small_powerlaw.num_edges
         assert all(value >= 0 for value in parallel.values())
+
+
+class TestParallelOnSeededRandomGraph:
+    """Workers receive only flat CSR arrays; results must still be
+    indistinguishable from the serial wrappers on a nontrivial graph."""
+
+    @pytest.fixture(scope="class")
+    def random_graph(self):
+        return erdos_renyi(250, 0.02, seed=31337)
+
+    def test_edge_scores_match_serial(self, random_graph):
+        serial = edge_betweenness(random_graph)
+        parallel = parallel_edge_betweenness(random_graph, num_workers=2)
+        assert list(parallel) == list(serial)
+        for edge, value in serial.items():
+            assert parallel[edge] == pytest.approx(value, abs=1e-9)
+
+    def test_node_scores_match_serial(self, random_graph):
+        serial = node_betweenness(random_graph)
+        parallel = parallel_node_betweenness(random_graph, num_workers=2)
+        for node, value in serial.items():
+            assert parallel[node] == pytest.approx(value, abs=1e-9)
+
+    def test_sampled_sources_match_serial(self, random_graph):
+        serial = edge_betweenness(random_graph, num_sources=30, seed=5)
+        parallel = parallel_edge_betweenness(
+            random_graph, num_workers=3, num_sources=30, seed=5
+        )
+        for edge, value in serial.items():
+            assert parallel[edge] == pytest.approx(value, abs=1e-9)
 
 
 class TestParallelNodeBetweenness:

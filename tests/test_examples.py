@@ -10,6 +10,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
 
 ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))

@@ -64,6 +64,7 @@ class TestHeadlineClaims:
         assert utilities["BM2"] > utilities["UDS"]
 
 
+@pytest.mark.slow
 class TestFullBattery:
     def test_all_seven_tasks_on_each_method(self, grqc, reductions):
         tasks = all_tasks(seed=0, num_sources=48)

@@ -16,6 +16,8 @@ from repro import (
     load_dataset,
 )
 
+pytestmark = pytest.mark.slow
+
 SEEDS = (1, 2, 3)
 
 
