@@ -92,6 +92,23 @@ def _scatter_add(out: np.ndarray, targets: np.ndarray, values: np.ndarray) -> No
         out += np.bincount(targets, weights=values, minlength=out.shape[0])
 
 
+def _next_frontier(dist: np.ndarray, fresh_targets: np.ndarray, depth: int) -> np.ndarray:
+    """Deduplicated, ascending next-level frontier.
+
+    ``fresh_targets`` carries one entry per discovering edge, so a node
+    with several same-level parents appears several times; the caller has
+    already marked ``dist[fresh_targets] = depth``.  For frontiers small
+    relative to ``n``, sorting the batch (``np.unique``) is cheaper than
+    scanning all of ``dist``; for dense frontiers the O(n) mark-then-scan
+    wins.  Both yield the same ascending id order, so downstream level
+    arithmetic is identical either way — the same adaptive switch as
+    :func:`_scatter_add`.
+    """
+    if fresh_targets.shape[0] * 8 < dist.shape[0]:
+        return np.unique(fresh_targets)
+    return np.nonzero(dist == depth)[0]
+
+
 def brandes_accumulate(
     csr: CSRAdjacency,
     sources: Iterable[int],
@@ -138,17 +155,23 @@ def brandes_accumulate(
         while True:
             positions, targets, rep = _expand(indptr, indices, levels[-1])
             target_depths = dist[targets]
-            toward_root = target_depths == depth - 1
-            rootward.append((positions[toward_root], targets[toward_root], rep[toward_root]))
+            if depth > 0:
+                toward_root = target_depths == depth - 1
+                rootward.append(
+                    (positions[toward_root], targets[toward_root], rep[toward_root])
+                )
+            else:
+                # The source has no predecessors, and depth - 1 == -1 would
+                # match *unvisited* neighbours instead.  The backward sweep
+                # only reads rootward[2:], so rootward[1] stays empty.
+                rootward.append((_EMPTY, _EMPTY, _EMPTY))
             fresh = target_depths < 0
             fresh_targets = targets[fresh]
             if fresh_targets.shape[0] == 0:
                 break
             depth += 1
-            # Mark-then-scan dedup: cheaper than np.unique's sort, and the
-            # scan yields the same ascending id order.
             dist[fresh_targets] = depth
-            next_level = np.nonzero(dist == depth)[0]
+            next_level = _next_frontier(dist, fresh_targets, depth)
             # Every (level d -> level d+1) CSR entry appears exactly once in
             # this batch, so sigma sums all predecessor path counts.
             _scatter_add(sigma, fresh_targets, sigma[levels[-1]][rep[fresh]])
@@ -192,7 +215,7 @@ def bfs_distance_array(
             break
         depth += 1
         dist[fresh] = depth
-        frontier = np.nonzero(dist == depth)[0]
+        frontier = _next_frontier(dist, fresh, depth)
     return dist
 
 
@@ -213,7 +236,7 @@ def bfs_level_sizes(csr: CSRAdjacency, source: int) -> List[int]:
         if fresh.size == 0:
             break
         dist[fresh] = len(sizes) + 1
-        frontier = np.nonzero(dist == len(sizes) + 1)[0]
+        frontier = _next_frontier(dist, fresh, len(sizes) + 1)
         sizes.append(int(frontier.size))
     return sizes
 
@@ -255,6 +278,11 @@ def component_ids(csr: CSRAdjacency) -> np.ndarray:
             if fresh.size == 0:
                 break
             component[fresh] = next_label
-            frontier = fresh
+            # Dedup is load-bearing: ``fresh`` holds one copy of each node
+            # per discovering edge, and carrying duplicates forward
+            # multiplies across levels (exponentially on graphs with many
+            # equal-length parallel paths).  ``component`` has no per-level
+            # marker to scan, so sort the batch.
+            frontier = np.unique(fresh)
         next_label += 1
     return component

@@ -1,5 +1,7 @@
 """Tests for BFS traversal and connectivity."""
 
+import time
+
 import pytest
 
 from repro.errors import NodeNotFoundError
@@ -93,3 +95,39 @@ class TestComponents:
         ours = sorted(frozenset(c) for c in connected_components(small_powerlaw))
         theirs = sorted(frozenset(c) for c in nx.connected_components(nx_graph))
         assert set(ours) == set(theirs)
+
+
+def diamond_chain_edges(num_diamonds):
+    """A chain of diamonds: two equal-length paths around every diamond."""
+    edges = []
+    for i in range(num_diamonds):
+        top, left, right, bottom = 3 * i, 3 * i + 1, 3 * i + 2, 3 * i + 3
+        edges += [(top, left), (top, right), (left, bottom), (right, bottom)]
+    return edges
+
+
+class TestParallelPathFrontiers:
+    """Regression: CSR kernel frontiers must be deduplicated per level.
+
+    Without dedup a BFS carries one frontier copy of each node per
+    discovering edge, which doubles at every diamond of a diamond chain
+    — the 76-node graph below used to take ~40 s (8.4M-entry frontier)
+    inside ``component_ids`` before hanging on anything larger.
+    """
+
+    def test_components_on_diamond_chain(self):
+        g = Graph(edges=diamond_chain_edges(25))  # 76 nodes
+        start = time.perf_counter()
+        components = connected_components(g)
+        assert time.perf_counter() - start < 10.0
+        assert len(components) == 1
+        assert components[0] == set(range(76))
+
+    def test_bfs_distances_on_diamond_chain(self):
+        g = Graph(edges=diamond_chain_edges(25))
+        start = time.perf_counter()
+        distances = bfs_distances(g, 0)
+        assert time.perf_counter() - start < 10.0
+        assert len(distances) == 76
+        for i in range(25):
+            assert distances[3 * i + 3] == 2 * (i + 1)

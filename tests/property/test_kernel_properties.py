@@ -42,6 +42,37 @@ GENERATED = [
 ]
 
 
+def _diamond_chain_edges(num_diamonds):
+    edges = []
+    for i in range(num_diamonds):
+        top, left, right, bottom = 3 * i, 3 * i + 1, 3 * i + 2, 3 * i + 3
+        edges += [(top, left), (top, right), (left, bottom), (right, bottom)]
+    return edges
+
+
+# Adversarial structured topologies the random generators never hit:
+# a diamond chain (many equal-length parallel paths => duplicate-heavy
+# frontiers, sigma up to 2^25) and a long path (diameter ~ n => the
+# sparse-frontier np.unique branch of the kernels).
+STRUCTURED = [
+    Graph(edges=_diamond_chain_edges(25)),
+    Graph(edges=[(i, i + 1) for i in range(300)]),
+]
+
+
+@pytest.mark.parametrize("graph", STRUCTURED, ids=["diamond-chain", "path300"])
+def test_structured_graphs_match_legacy(graph):
+    kernel = edge_betweenness(graph)
+    legacy = _legacy_edge_betweenness(graph)
+    assert list(kernel) == list(legacy)
+    for edge, value in legacy.items():
+        assert kernel[edge] == pytest.approx(value, abs=1e-9)
+    kernel_nodes = node_betweenness(graph)
+    legacy_nodes = _legacy_node_betweenness(graph)
+    for node, value in legacy_nodes.items():
+        assert kernel_nodes[node] == pytest.approx(value, abs=1e-9)
+
+
 @given(edge_lists)
 @settings(max_examples=60, deadline=None)
 def test_node_betweenness_matches_legacy(edges):
