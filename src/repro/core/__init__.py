@@ -5,7 +5,7 @@ Exports the two proposed algorithms (:class:`CRRShedder`,
 theoretical bounds from Theorems 1-2, and structure-blind ablation shedders.
 """
 
-from repro.core.base import EdgeShedder, ReductionResult, validate_ratio
+from repro.core.base import EdgeShedder, ReductionResult, timed_phase, validate_ratio
 from repro.core.bm2 import BM2Shedder, bipartite_repair
 from repro.core.bounds import (
     bm2_average_delta_bound,
@@ -15,7 +15,12 @@ from repro.core.bounds import (
 )
 from repro.core.core_shed import CoreShedder
 from repro.core.crr import CRRShedder, IndexedEdgePool
-from repro.core.discrepancy import DegreeTracker, compute_delta, round_half_up
+from repro.core.discrepancy import (
+    ArrayDegreeTracker,
+    DegreeTracker,
+    compute_delta,
+    round_half_up,
+)
 from repro.core.local_shed import JaccardShedder, LocalDegreeShedder
 from repro.core.progressive import progressive_reduce
 from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
@@ -24,11 +29,13 @@ from repro.core.validation import ValidationReport, validate_reduction
 __all__ = [
     "EdgeShedder",
     "ReductionResult",
+    "timed_phase",
     "validate_ratio",
     "CRRShedder",
     "IndexedEdgePool",
     "BM2Shedder",
     "bipartite_repair",
+    "ArrayDegreeTracker",
     "DegreeTracker",
     "compute_delta",
     "round_half_up",

@@ -11,13 +11,30 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List
 
 from repro.errors import InvalidRatioError, ReductionError
 from repro.graph.graph import Edge, Graph
 
-__all__ = ["EdgeShedder", "ReductionResult", "validate_ratio"]
+__all__ = ["EdgeShedder", "ReductionResult", "timed_phase", "validate_ratio"]
+
+
+@contextmanager
+def timed_phase(stats: Dict[str, Any], key: str) -> Iterator[None]:
+    """Record the wall-clock duration of a ``with`` block into ``stats[key]``.
+
+    Shedders use this to break ``elapsed_seconds`` down into per-phase
+    timings (``ranking_seconds``/``rewiring_seconds`` for CRR,
+    ``phase1_seconds``/``phase2_seconds`` for BM2) so the Table 3/4
+    reduction-time benchmarks report both algorithms symmetrically.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        stats[key] = time.perf_counter() - start
 
 
 def validate_ratio(p: float) -> float:

@@ -29,14 +29,15 @@ matching the example's outcome) decides.
 from __future__ import annotations
 
 import heapq
-import time
 from typing import Any, Dict, List, Tuple
 
-from repro.core.base import EdgeShedder
-from repro.core.discrepancy import DegreeTracker, round_half_up
+import numpy as np
+
+from repro.core.base import EdgeShedder, timed_phase
+from repro.core.discrepancy import ArrayDegreeTracker, DegreeTracker, round_half_up
 from repro.errors import ReductionError
 from repro.graph.graph import Edge, Graph, Node
-from repro.graph.matching import greedy_b_matching
+from repro.graph.matching import greedy_b_matching, greedy_b_matching_ids
 from repro.rng import RandomState, ensure_rng
 
 __all__ = ["BM2Shedder", "bipartite_repair"]
@@ -56,12 +57,29 @@ def _snap(value: float) -> float:
         return nearest / 2.0
     return value
 
+def _snap_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_snap` over a float array."""
+    doubled = values * 2.0
+    nearest = np.round(doubled)
+    return np.where(np.abs(doubled - nearest) < 2.0 * _EPSILON, nearest * 0.5, values)
+
+
 #: Supported capacity rounding rules (Phase 1 ablation).
 _ROUNDING_RULES = {
     "half_up": round_half_up,
     "half_even": lambda x: int(round(x)),
     "floor": lambda x: int(x),
     "ceil": lambda x: -int(-x // 1),
+}
+
+#: Vectorized counterparts over non-negative ``p·deg`` arrays; elementwise
+#: identical to the scalar rules (``np.round`` is banker's rounding like
+#: ``round``; int64 truncation equals floor for non-negative inputs).
+_ROUNDING_RULES_ARRAY = {
+    "half_up": lambda x: np.floor(x + 0.5).astype(np.int64),
+    "half_even": lambda x: np.round(x).astype(np.int64),
+    "floor": lambda x: x.astype(np.int64),
+    "ceil": lambda x: np.ceil(x).astype(np.int64),
 }
 
 
@@ -75,6 +93,9 @@ def bipartite_repair(
     ``candidate_edges`` must be oriented ``(a, b)`` with ``a`` in group A and
     ``b`` in group B under ``tracker``'s current state.  The tracker is
     mutated: every selected edge is added to it.  Returns the selected edges.
+    Only ``tracker.dis`` and ``tracker.add_edge`` are used, so any tracker
+    flavour works — including :meth:`ArrayDegreeTracker.ids_view`, in which
+    case the candidate "nodes" are CSR integer ids.
 
     Implementation: a lazy max-heap.  Each entry carries the weight it was
     pushed with; stale entries (whose edge was re-weighted or retired) are
@@ -159,6 +180,13 @@ class BM2Shedder(EdgeShedder):
         accept_zero_gain: whether Algorithm 3 keeps zero-gain edges.
         shuffle_edges: scan Phase 1's edges in a random order instead of the
             input order (ablation; the paper scans input order).
+        engine: ``"array"`` (default) runs both phases over flat CSR-id
+            arrays — vectorized capacity rounding, the fixpoint greedy
+            b-matching (:func:`greedy_b_matching_ids`), boolean-mask A/B
+            grouping and candidate orientation — feeding Algorithm 3 the
+            same gains bit for bit; ``"legacy"`` is the original dict scan,
+            kept as the exactness oracle.  Both engines keep the identical
+            edge set.
         seed: randomness for ``shuffle_edges``.
     """
 
@@ -169,61 +197,147 @@ class BM2Shedder(EdgeShedder):
         rounding: str = "half_up",
         accept_zero_gain: bool = False,
         shuffle_edges: bool = False,
+        engine: str = "array",
         seed: RandomState = None,
     ) -> None:
         if rounding not in _ROUNDING_RULES:
             raise ValueError(
                 f"rounding must be one of {sorted(_ROUNDING_RULES)}, got {rounding!r}"
             )
+        if engine not in ("array", "legacy"):
+            raise ValueError(f"engine must be 'array' or 'legacy', got {engine!r}")
         self.rounding = rounding
         self.accept_zero_gain = accept_zero_gain
         self.shuffle_edges = shuffle_edges
+        self.engine = engine
         self._seed = seed
 
     def _reduce(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
+        if self.engine == "array":
+            return self._reduce_array(graph, p)
+        return self._reduce_legacy(graph, p)
+
+    def _reduce_legacy(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
+        """The original dict-based phases (the array engine's oracle)."""
         round_rule = _ROUNDING_RULES[self.rounding]
         capacities = {node: round_rule(p * graph.degree(node)) for node in graph.nodes()}
 
-        phase1_start = time.perf_counter()
-        shuffle_seed = ensure_rng(self._seed) if self.shuffle_edges else None
-        matched = greedy_b_matching(graph, capacities, shuffle_seed=shuffle_seed)
-        phase1_elapsed = time.perf_counter() - phase1_start
+        stats: Dict[str, Any] = {"capacity_rounding": self.rounding, "engine": self.engine}
+        with timed_phase(stats, "phase1_seconds"):
+            shuffle_seed = ensure_rng(self._seed) if self.shuffle_edges else None
+            matched = greedy_b_matching(graph, capacities, shuffle_seed=shuffle_seed)
 
-        phase2_start = time.perf_counter()
-        tracker = DegreeTracker(graph, p)
-        for u, v in matched:
-            tracker.add_edge(u, v)
+        with timed_phase(stats, "phase2_seconds"):
+            tracker = DegreeTracker(graph, p)
+            for u, v in matched:
+                tracker.add_edge(u, v)
 
-        group_a = {node for node in graph.nodes() if _snap(tracker.dis(node)) <= -0.5}
-        group_b = {
-            node for node in graph.nodes() if -0.5 < _snap(tracker.dis(node)) < 0
-        }
+            group_a = {node for node in graph.nodes() if _snap(tracker.dis(node)) <= -0.5}
+            group_b = {
+                node for node in graph.nodes() if -0.5 < _snap(tracker.dis(node)) < 0
+            }
 
-        matched_keys = {frozenset(edge) for edge in matched}
-        candidates: List[Tuple[Node, Node]] = []
-        for u, v in graph.edges():
-            if frozenset((u, v)) in matched_keys:
-                continue
-            if u in group_a and v in group_b:
-                candidates.append((u, v))
-            elif v in group_a and u in group_b:
-                candidates.append((v, u))
+            # Phase 1 scans graph.edges(), so every matched edge is already a
+            # canonical tuple — plain tuple lookups beat building a frozenset
+            # per graph edge.
+            matched_keys = set(matched)
+            candidates: List[Tuple[Node, Node]] = []
+            for u, v in graph.edges():
+                if (u, v) in matched_keys:
+                    continue
+                if u in group_a and v in group_b:
+                    candidates.append((u, v))
+                elif v in group_a and u in group_b:
+                    candidates.append((v, u))
 
-        repaired = bipartite_repair(
-            tracker, candidates, accept_zero_gain=self.accept_zero_gain
-        )
-        phase2_elapsed = time.perf_counter() - phase2_start
+            repaired = bipartite_repair(
+                tracker, candidates, accept_zero_gain=self.accept_zero_gain
+            )
 
         reduced = graph.edge_subgraph(list(matched) + [tuple(e) for e in repaired])
-        stats = {
-            "capacity_rounding": self.rounding,
-            "matched_edges": len(matched),
-            "repair_edges": len(repaired),
-            "group_a_size": len(group_a),
-            "group_b_size": len(group_b),
-            "candidate_edges": len(candidates),
-            "phase1_seconds": phase1_elapsed,
-            "phase2_seconds": phase2_elapsed,
-            "tracker_delta": tracker.delta,
-        }
+        stats.update(
+            {
+                "matched_edges": len(matched),
+                "repair_edges": len(repaired),
+                "group_a_size": len(group_a),
+                "group_b_size": len(group_b),
+                "candidate_edges": len(candidates),
+                "tracker_delta": tracker.delta,
+            }
+        )
+        return reduced, stats
+
+    def _reduce_array(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
+        """Array-native phases over CSR ids; same edge set as the legacy scan.
+
+        Equivalence notes: the id-space edge scan order is the graph's
+        (:meth:`CSRAdjacency.edge_list_ids`), the shuffle permutes ``range(m)``
+        with the same RNG draws the legacy path spends shuffling the edge
+        list, capacities round elementwise-identically, and Algorithm 3 runs
+        unchanged on an id view of the tracker whose ``dis`` values are
+        bitwise those of the dict tracker — so greedy decisions, groups,
+        candidate order and repair selections all coincide.
+        """
+        csr = graph.csr()
+        capacities = _ROUNDING_RULES_ARRAY[self.rounding](p * csr.degree_array())
+
+        stats: Dict[str, Any] = {"capacity_rounding": self.rounding, "engine": self.engine}
+        with timed_phase(stats, "phase1_seconds"):
+            edge_u, edge_v = csr.edge_list_ids()
+            m = edge_u.shape[0]
+            if self.shuffle_edges:
+                perm = list(range(m))
+                ensure_rng(self._seed).shuffle(perm)
+                perm = np.asarray(perm, dtype=np.int64)
+                scan_u, scan_v = edge_u[perm], edge_v[perm]
+            else:
+                perm = None
+                scan_u, scan_v = edge_u, edge_v
+            scan_kept = greedy_b_matching_ids(scan_u, scan_v, capacities)
+            matched_u, matched_v = scan_u[scan_kept], scan_v[scan_kept]
+            # Kept-mask over the *unshuffled* scan, for the candidate pass.
+            if perm is None:
+                kept_mask = scan_kept
+            else:
+                kept_mask = np.zeros(m, dtype=bool)
+                kept_mask[perm[scan_kept]] = True
+
+        with timed_phase(stats, "phase2_seconds"):
+            tracker = ArrayDegreeTracker(graph, p)
+            tracker.add_edges_ids(matched_u, matched_v)
+
+            snapped = _snap_array(tracker.dis_array())
+            group_a = snapped <= -0.5
+            group_b = (snapped > -0.5) & (snapped < 0)
+
+            a_to_b = ~kept_mask & group_a[edge_u] & group_b[edge_v]
+            b_to_a = ~kept_mask & group_b[edge_u] & group_a[edge_v]
+            position = np.nonzero(a_to_b | b_to_a)[0]
+            forward = a_to_b[position]
+            cand_a = np.where(forward, edge_u[position], edge_v[position])
+            cand_b = np.where(forward, edge_v[position], edge_u[position])
+            candidates = list(zip(cand_a.tolist(), cand_b.tolist()))
+
+            repaired = bipartite_repair(
+                tracker.ids_view(), candidates, accept_zero_gain=self.accept_zero_gain
+            )
+
+        repair_count = len(repaired)
+        kept_u = np.concatenate(
+            (matched_u, np.fromiter((a for a, _ in repaired), np.int64, count=repair_count))
+        )
+        kept_v = np.concatenate(
+            (matched_v, np.fromiter((b for _, b in repaired), np.int64, count=repair_count))
+        )
+        reduced = csr.subgraph_from_edge_ids(kept_u, kept_v)
+        stats.update(
+            {
+                "matched_edges": int(np.count_nonzero(scan_kept)),
+                "repair_edges": len(repaired),
+                "group_a_size": int(np.count_nonzero(group_a)),
+                "group_b_size": int(np.count_nonzero(group_b)),
+                "candidate_edges": len(candidates),
+                "tracker_delta": tracker.delta,
+            }
+        )
         return reduced, stats

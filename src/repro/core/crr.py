@@ -25,12 +25,12 @@ Faithfulness notes:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import EdgeShedder
-from repro.core.discrepancy import DegreeTracker, round_half_up
+from repro.core.base import EdgeShedder, timed_phase
+from repro.core.discrepancy import ArrayDegreeTracker, DegreeTracker, round_half_up
 from repro.graph.centrality import top_edges_by_betweenness
 from repro.graph.graph import Edge, Graph
 from repro.rng import RandomState, ensure_rng
@@ -44,6 +44,17 @@ ImportanceFn = Callable[[Graph], Mapping[Edge, float]]
 #: noise that would otherwise let mathematically-zero-change swaps through.
 _MIN_IMPROVEMENT = 1e-9
 
+#: Swap-candidate index pairs are pre-drawn from the RNG this many steps at
+#: a time (bounds memory for huge ``steps`` without changing the stream).
+_DRAW_BLOCK = 65536
+
+#: Adaptive evaluation chunk bounds for the array rewiring loop: chunks
+#: double after an all-reject chunk and halve after an acceptance, so the
+#: loop spends large vectorized batches where acceptances are rare and
+#: small ones where every acceptance invalidates the tail of the batch.
+_MIN_CHUNK = 64
+_MAX_CHUNK = 4096
+
 
 class IndexedEdgePool:
     """An edge set supporting O(1) random sampling, insertion and removal.
@@ -53,7 +64,7 @@ class IndexedEdgePool:
     position index gives all three operations in constant time.
     """
 
-    def __init__(self, edges: List[Edge] = ()) -> None:
+    def __init__(self, edges: Iterable[Edge] = ()) -> None:
         self._items: List[Edge] = []
         self._position: Dict[Edge, int] = {}
         for edge in edges:
@@ -103,6 +114,12 @@ class CRRShedder(EdgeShedder):
             (the paper's choice, default), ``"random"``, or a callable
             ``Graph -> {edge: score}`` for custom criteria (edges are then
             ranked by score, ties broken randomly).
+        engine: ``"array"`` (default) runs the rewiring loop over flat
+            CSR-id arrays with block-drawn swap candidates and batched
+            Δ-change evaluation; ``"legacy"`` is the original scalar loop
+            over :class:`DegreeTracker`, kept as the exactness oracle.
+            Both engines consume the RNG identically and accept the exact
+            same swap sequence, so the reduced graph is the same either way.
         seed: randomness for tie-breaking, swap sampling, and the sampled
             betweenness estimator.
     """
@@ -116,6 +133,7 @@ class CRRShedder(EdgeShedder):
         num_betweenness_sources: Optional[int] = None,
         skip_ranking: bool = False,
         importance: "str | ImportanceFn" = "betweenness",
+        engine: str = "array",
         seed: RandomState = None,
     ) -> None:
         if steps is not None and steps < 0:
@@ -129,10 +147,13 @@ class CRRShedder(EdgeShedder):
                 f"importance must be 'betweenness', 'random', or a callable,"
                 f" got {importance!r}"
             )
+        if engine not in ("array", "legacy"):
+            raise ValueError(f"engine must be 'array' or 'legacy', got {engine!r}")
         self.steps = steps
         self.steps_factor = steps_factor
         self.num_betweenness_sources = num_betweenness_sources
         self.importance = importance
+        self.engine = engine
         self._seed = seed
 
     @property
@@ -147,14 +168,38 @@ class CRRShedder(EdgeShedder):
         if steps is None:
             steps = round_half_up(self.steps_factor * p * graph.num_edges)
 
-        kept_edges = self._initial_edges(graph, target, rng)
+        stats: Dict[str, Any] = {
+            "target_edges": target,
+            "steps": steps,
+            "initial_ranking": (
+                self.importance if isinstance(self.importance, str) else "custom"
+            ),
+            "engine": self.engine,
+        }
+        with timed_phase(stats, "ranking_seconds"):
+            kept_edges = self._initial_edges(graph, target, rng)
+        rewire = self._rewire_array if self.engine == "array" else self._rewire_legacy
+        with timed_phase(stats, "rewiring_seconds"):
+            reduced = rewire(graph, p, kept_edges, steps, rng, stats)
+        return reduced, stats
+
+    def _rewire_legacy(
+        self,
+        graph: Graph,
+        p: float,
+        kept_edges: List[Edge],
+        steps: int,
+        rng: np.random.Generator,
+        stats: Dict[str, Any],
+    ) -> Graph:
+        """The original scalar rewiring loop (the array engine's oracle)."""
         tracker = DegreeTracker(graph, p)
         for u, v in kept_edges:
             tracker.add_edge(u, v)
 
         kept = IndexedEdgePool(kept_edges)
         kept_set = set(kept_edges)
-        shed = IndexedEdgePool([e for e in graph.edges() if e not in kept_set])
+        shed = IndexedEdgePool(e for e in graph.edges() if e not in kept_set)
 
         accepted = 0
         attempted = 0
@@ -171,18 +216,125 @@ class CRRShedder(EdgeShedder):
                     kept.add(edge_in)
                     accepted += 1
 
-        reduced = graph.edge_subgraph(kept.items())
-        stats = {
-            "target_edges": target,
-            "steps": steps,
-            "attempted_swaps": attempted,
-            "accepted_swaps": accepted,
-            "initial_ranking": (
-                self.importance if isinstance(self.importance, str) else "custom"
-            ),
-            "tracker_delta": tracker.delta,
-        }
-        return reduced, stats
+        stats["attempted_swaps"] = attempted
+        stats["accepted_swaps"] = accepted
+        stats["tracker_delta"] = tracker.delta
+        return graph.edge_subgraph(kept.items())
+
+    def _rewire_array(
+        self,
+        graph: Graph,
+        p: float,
+        kept_edges: List[Edge],
+        steps: int,
+        rng: np.random.Generator,
+        stats: Dict[str, Any],
+    ) -> Graph:
+        """CSR-native rewiring: array pools, blocked draws, batched evals.
+
+        The kept/shed pools are flat endpoint-id arrays mirroring
+        :class:`IndexedEdgePool`'s swap-pop layout, so sampled positions
+        refer to the same edges as in the legacy loop; swap candidates are
+        pre-drawn in blocks with one broadcast ``rng.integers`` call per
+        block, which produces the exact bit stream of the legacy loop's
+        alternating scalar draws; Δ-changes are evaluated in adaptive
+        vectorized chunks and every acceptance re-evaluates from the next
+        step, so each accept/reject decision is made from the same tracker
+        state the scalar loop would see.  The accepted swap sequence — and
+        hence the reduced graph — is identical to ``engine="legacy"``.
+        """
+        csr = graph.csr()
+        n = csr.num_nodes
+        index_of = csr.index_of
+        tracker = ArrayDegreeTracker(graph, p)
+
+        count = len(kept_edges)
+        kept_u = np.fromiter((index_of[u] for u, _ in kept_edges), np.int64, count=count)
+        kept_v = np.fromiter((index_of[v] for _, v in kept_edges), np.int64, count=count)
+        tracker.add_edges_ids(kept_u, kept_v)
+
+        # Shed pool = edge-scan order minus the kept set (same positions the
+        # legacy IndexedEdgePool assigns).  Canonical orientation puts the
+        # smaller id first on both sides, so the keys line up.
+        edge_u, edge_v = csr.edge_list_ids()
+        shed_mask = ~np.isin(edge_u * n + edge_v, kept_u * n + kept_v)
+        shed_u = edge_u[shed_mask]
+        shed_v = edge_v[shed_mask]
+
+        accepted = 0
+        attempted = 0
+        if count and shed_u.shape[0]:
+            attempted = steps
+            accepted = self._run_swaps(tracker, rng, kept_u, kept_v, shed_u, shed_v, steps)
+
+        stats["attempted_swaps"] = attempted
+        stats["accepted_swaps"] = accepted
+        stats["tracker_delta"] = tracker.delta
+        return csr.subgraph_from_edge_ids(kept_u, kept_v)
+
+    @staticmethod
+    def _run_swaps(
+        tracker: ArrayDegreeTracker,
+        rng: np.random.Generator,
+        kept_u: np.ndarray,
+        kept_v: np.ndarray,
+        shed_u: np.ndarray,
+        shed_v: np.ndarray,
+        steps: int,
+    ) -> int:
+        """Run ``steps`` swap attempts over the array pools; return accepts."""
+        pool_sizes = np.tile(
+            np.array([kept_u.shape[0], shed_u.shape[0]], dtype=np.int64), _DRAW_BLOCK
+        )
+        last = kept_u.shape[0] - 1
+        accepted = 0
+        done = 0
+        chunk = _MIN_CHUNK
+        while done < steps:
+            block = min(_DRAW_BLOCK, steps - done)
+            # One broadcast call = the legacy loop's 2·block alternating
+            # integers(P)/integers(S) draws, bit for bit.
+            draws = rng.integers(0, pool_sizes[: 2 * block])
+            kept_idx = draws[0::2]
+            shed_idx = draws[1::2]
+            pos = 0
+            while pos < block:
+                end = min(pos + chunk, block)
+                out_u = kept_u[kept_idx[pos:end]]
+                out_v = kept_v[kept_idx[pos:end]]
+                in_u = shed_u[shed_idx[pos:end]]
+                in_v = shed_v[shed_idx[pos:end]]
+                accept = (
+                    tracker.swap_change_ids(out_u, out_v, in_u, in_v)
+                    < -_MIN_IMPROVEMENT
+                )
+                if not accept.any():
+                    # Every decision in the chunk was made from live state.
+                    pos = end
+                    chunk = min(chunk * 2, _MAX_CHUNK)
+                    continue
+                # Decisions are only valid up to the first acceptance: apply
+                # it, then re-evaluate the tail from the mutated state.
+                hit = int(np.argmax(accept))
+                ou, ov = int(out_u[hit]), int(out_v[hit])
+                iu, iv = int(in_u[hit]), int(in_v[hit])
+                tracker.apply_swap_ids(ou, ov, iu, iv)
+                i = int(kept_idx[pos + hit])
+                j = int(shed_idx[pos + hit])
+                # Mirror IndexedEdgePool's swap-pop bookkeeping: the kept
+                # pool's last edge backfills slot i, the incoming edge takes
+                # the last slot, and the outgoing edge lands in shed slot j.
+                kept_u[i] = kept_u[last]
+                kept_v[i] = kept_v[last]
+                kept_u[last] = iu
+                kept_v[last] = iv
+                shed_u[j] = ou
+                shed_v[j] = ov
+                accepted += 1
+                pos += hit + 1
+                chunk = max(_MIN_CHUNK, chunk // 2)
+            done += block
+        return accepted
 
     def _initial_edges(self, graph: Graph, target: int, rng: np.random.Generator) -> List[Edge]:
         """Phase 1: the [P]-edge initial selection."""

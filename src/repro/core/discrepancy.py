@@ -16,10 +16,12 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Tuple
 
+import numpy as np
+
 from repro.errors import EdgeNotFoundError, InvalidRatioError, ReductionError
 from repro.graph.graph import Edge, Graph, Node
 
-__all__ = ["DegreeTracker", "compute_delta", "round_half_up"]
+__all__ = ["ArrayDegreeTracker", "DegreeTracker", "compute_delta", "round_half_up"]
 
 
 def round_half_up(value: float) -> int:
@@ -171,6 +173,310 @@ class DegreeTracker:
         self.add_edge(*edge_in)
 
 
+class _TrackerIdsView:
+    """Duck-typed tracker facade whose node handles are CSR integer ids.
+
+    :func:`repro.core.bm2.bipartite_repair` only calls ``dis`` and
+    ``add_edge``; this view lets the array engine feed it id tuples without
+    a label round-trip.  ``dis`` values are bitwise identical to the dict
+    tracker's (same ``int - float`` IEEE subtraction), so the repair heap
+    makes bitwise-identical decisions.
+    """
+
+    __slots__ = ("_tracker",)
+
+    def __init__(self, tracker: "ArrayDegreeTracker") -> None:
+        self._tracker = tracker
+
+    def dis(self, node_id: int) -> float:
+        return float(self._tracker._dis[node_id])
+
+    def add_edge(self, u: int, v: int) -> None:
+        self._tracker.add_edge_ids(u, v)
+
+
+class ArrayDegreeTracker:
+    """Array-native :class:`DegreeTracker`: flat numpy state over CSR ids.
+
+    Node labels are mapped to the graph's CSR integer ids once at
+    construction; ``expected``, ``current`` and ``dis`` live in flat arrays,
+    tracked edges are integer keys in a hash set, and the ``*_change_ids``
+    methods evaluate whole batches of hypothetical moves in one vectorized
+    call.  The label-keyed API of :class:`DegreeTracker` is preserved on
+    top (``add_edge``, ``swap_change``, ``dis``, ...), so the two classes
+    are drop-in interchangeable — the dict tracker stays as the scalar
+    oracle the property tests pin this class against.
+
+    Exactness: ``dis`` slots are always written as ``current - expected``
+    (the same ``int - float`` IEEE subtraction the dict tracker performs,
+    never an incremental drift), and the scalar mutation path accumulates
+    ``Δ`` with the dict tracker's exact expression order.  Bulk
+    :meth:`add_edges_ids` recomputes ``Δ = Σ|dis|`` directly instead —
+    bit-identical whenever every ``p·deg`` is exactly representable (e.g.
+    ``p = 0.5``), and within float-association noise (≪ 1e-9) otherwise.
+    """
+
+    def __init__(self, graph: Graph, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise InvalidRatioError(p)
+        self._graph = graph
+        self._p = p
+        csr = graph.csr()
+        self._csr = csr
+        n = csr.num_nodes
+        self._n = n
+        #: float64[n] — p·deg_G(u) per id (Equation 1).
+        self._expected = p * csr.degree_array()
+        #: int64[n] — tracked degree per id.
+        self._current = np.zeros(n, dtype=np.int64)
+        #: float64[n] — current − expected, rewritten per touched slot.
+        self._dis = self._current - self._expected
+        #: tracked edges as ``min_id * n + max_id`` integer keys.
+        self._edge_keys: set = set()
+        #: every original-graph edge as an integer key (membership checks;
+        #: memoised on the snapshot, shared across trackers).
+        self._graph_keys: frozenset = csr.edge_key_set()
+        # Python sum in id (= insertion) order, matching the dict tracker's
+        # ``sum(self._expected.values())`` bit for bit.
+        self._delta = float(sum(self._expected.tolist()))
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def delta(self) -> float:
+        """Current ``Δ`` over the tracked edge set."""
+        return self._delta
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_keys)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def expected_degree(self, node: Node) -> float:
+        """``E(deg_G'(node)) = p · deg_G(node)``."""
+        return float(self._expected[self._id_of(node)])
+
+    def current_degree(self, node: Node) -> int:
+        return int(self._current[self._id_of(node)])
+
+    def dis(self, node: Node) -> float:
+        """``dis(node)`` for the tracked edge set (Equation 3)."""
+        return float(self._dis[self._id_of(node)])
+
+    def dis_array(self) -> np.ndarray:
+        """``float64[n]`` of ``dis`` per CSR id.  Treat as read-only."""
+        return self._dis
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return self._edge_key(self._id_of(u), self._id_of(v)) in self._edge_keys
+
+    def edges(self) -> Iterable[Tuple[Node, Node]]:
+        """The tracked edges (canonical orientation, arbitrary order)."""
+        n = self._n
+        labels = self._csr.labels
+        return [(labels[key // n], labels[key % n]) for key in self._edge_keys]
+
+    def average_delta(self) -> float:
+        """``Δ / |V|`` — the per-node discrepancy the paper plots (Fig. 4/5)."""
+        if self._n == 0:
+            return 0.0
+        return self._delta / self._n
+
+    def ids_view(self) -> _TrackerIdsView:
+        """A tracker facade keyed by CSR ids (for :func:`bipartite_repair`)."""
+        return _TrackerIdsView(self)
+
+    def _id_of(self, node: Node) -> int:
+        return self._csr.index_of[node]
+
+    def _edge_key(self, u: int, v: int) -> int:
+        return (u * self._n + v) if u < v else (v * self._n + u)
+
+    # ------------------------------------------------------------------
+    # Mutation (scalar, exact dict-tracker accumulation order)
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Track edge ``(u, v)``; must exist in the original graph."""
+        self.add_edge_ids(self._id_of(u), self._id_of(v))
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Stop tracking edge ``(u, v)``."""
+        self.remove_edge_ids(self._id_of(u), self._id_of(v))
+
+    def apply_swap(self, edge_out: Edge, edge_in: Edge) -> None:
+        """Remove ``edge_out`` and add ``edge_in`` in one move."""
+        self.remove_edge(*edge_out)
+        self.add_edge(*edge_in)
+
+    def add_edge_ids(self, u: int, v: int) -> None:
+        """Id-native :meth:`add_edge`."""
+        key = self._edge_key(u, v)
+        if key not in self._graph_keys:
+            labels = self._csr.labels
+            raise EdgeNotFoundError(labels[u], labels[v])
+        if key in self._edge_keys:
+            labels = self._csr.labels
+            raise ReductionError(f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked")
+        dis = self._dis
+        du, dv = float(dis[u]), float(dis[v])
+        self._delta += abs(du + 1) + abs(dv + 1) - (abs(du) + abs(dv))
+        self._edge_keys.add(key)
+        current, expected = self._current, self._expected
+        current[u] += 1
+        current[v] += 1
+        dis[u] = current[u] - expected[u]
+        dis[v] = current[v] - expected[v]
+
+    def remove_edge_ids(self, u: int, v: int) -> None:
+        """Id-native :meth:`remove_edge`."""
+        key = self._edge_key(u, v)
+        if key not in self._edge_keys:
+            labels = self._csr.labels
+            raise EdgeNotFoundError(labels[u], labels[v])
+        dis = self._dis
+        du, dv = float(dis[u]), float(dis[v])
+        self._delta += abs(du - 1) + abs(dv - 1) - (abs(du) + abs(dv))
+        self._edge_keys.discard(key)
+        current, expected = self._current, self._expected
+        current[u] -= 1
+        current[v] -= 1
+        dis[u] = current[u] - expected[u]
+        dis[v] = current[v] - expected[v]
+
+    def apply_swap_ids(self, out_u: int, out_v: int, in_u: int, in_v: int) -> None:
+        """Id-native :meth:`apply_swap` (remove then add, dict order)."""
+        self.remove_edge_ids(out_u, out_v)
+        self.add_edge_ids(in_u, in_v)
+
+    def add_edges_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> None:
+        """Bulk-track a batch of edges given as endpoint id arrays.
+
+        Equivalent to calling :meth:`add_edge_ids` per edge, except that
+        ``current`` is rebuilt with two ``bincount`` calls and ``Δ`` is
+        recomputed as ``Σ|dis|`` (see the class docstring for the exactness
+        contract).  Raises like the scalar path on non-graph edges, edges
+        already tracked, or duplicates within the batch.
+        """
+        edge_u = np.asarray(edge_u, dtype=np.int64)
+        edge_v = np.asarray(edge_v, dtype=np.int64)
+        n = self._n
+        keys = (np.minimum(edge_u, edge_v) * n + np.maximum(edge_u, edge_v)).tolist()
+        new_keys = set(keys)
+        if len(new_keys) != len(keys) or (new_keys & self._edge_keys):
+            seen: set = set(self._edge_keys)
+            for key, u, v in zip(keys, edge_u.tolist(), edge_v.tolist()):
+                if key in seen:
+                    labels = self._csr.labels
+                    raise ReductionError(
+                        f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked"
+                    )
+                seen.add(key)
+        if not new_keys <= self._graph_keys:
+            for key, u, v in zip(keys, edge_u.tolist(), edge_v.tolist()):
+                if key not in self._graph_keys:
+                    labels = self._csr.labels
+                    raise EdgeNotFoundError(labels[u], labels[v])
+        self._edge_keys |= new_keys
+        self._current += np.bincount(edge_u, minlength=n)
+        self._current += np.bincount(edge_v, minlength=n)
+        np.subtract(self._current, self._expected, out=self._dis)
+        self._delta = float(np.abs(self._dis).sum())
+
+    # ------------------------------------------------------------------
+    # Hypothetical moves (no mutation)
+    # ------------------------------------------------------------------
+
+    def add_change(self, u: Node, v: Node) -> float:
+        """Change in ``Δ`` if edge ``(u, v)`` were added (paper's ``d_2``)."""
+        dis = self._dis
+        du, dv = float(dis[self._id_of(u)]), float(dis[self._id_of(v)])
+        return abs(du + 1) + abs(dv + 1) - (abs(du) + abs(dv))
+
+    def remove_change(self, u: Node, v: Node) -> float:
+        """Change in ``Δ`` if edge ``(u, v)`` were removed (paper's ``d_1``)."""
+        dis = self._dis
+        du, dv = float(dis[self._id_of(u)]), float(dis[self._id_of(v)])
+        return abs(du - 1) + abs(dv - 1) - (abs(du) + abs(dv))
+
+    def swap_change(self, edge_out: Edge, edge_in: Edge) -> float:
+        """Exact joint change in ``Δ`` for ``edge_out`` → ``edge_in``."""
+        (u, v), (x, y) = edge_out, edge_in
+        return self.swap_change_scalar_ids(
+            self._id_of(u), self._id_of(v), self._id_of(x), self._id_of(y)
+        )
+
+    def swap_change_scalar_ids(self, out_u: int, out_v: int, in_u: int, in_v: int) -> float:
+        """Exact joint swap change for one id quadruple (shared endpoints OK)."""
+        touched = {out_u, out_v, in_u, in_v}
+        shift: Dict[int, int] = dict.fromkeys(touched, 0)
+        shift[out_u] -= 1
+        shift[out_v] -= 1
+        shift[in_u] += 1
+        shift[in_v] += 1
+        dis = self._dis
+        change = 0.0
+        for node in touched:
+            before = float(dis[node])
+            change += abs(before + shift[node]) - abs(before)
+        return change
+
+    def add_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`add_change` over endpoint id arrays."""
+        dis = self._dis
+        du, dv = dis[edge_u], dis[edge_v]
+        return np.abs(du + 1.0) + np.abs(dv + 1.0) - (np.abs(du) + np.abs(dv))
+
+    def remove_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`remove_change` over endpoint id arrays."""
+        dis = self._dis
+        du, dv = dis[edge_u], dis[edge_v]
+        return np.abs(du - 1.0) + np.abs(dv - 1.0) - (np.abs(du) + np.abs(dv))
+
+    def swap_change_ids(
+        self,
+        out_u: np.ndarray,
+        out_v: np.ndarray,
+        in_u: np.ndarray,
+        in_v: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`swap_change` over batches of candidate swaps.
+
+        The vector expression is the disjoint-endpoint ``d_1 + d_2`` sum;
+        positions where the outgoing and incoming edges share an endpoint
+        (where that sum double-counts the shared node) are recomputed with
+        the exact scalar joint formula, so every entry matches
+        :meth:`swap_change` for the same pair of edges.
+        """
+        dis = self._dis
+        d_ou, d_ov = dis[out_u], dis[out_v]
+        d_iu, d_iv = dis[in_u], dis[in_v]
+        change = (
+            np.abs(d_ou - 1.0)
+            + np.abs(d_ov - 1.0)
+            - (np.abs(d_ou) + np.abs(d_ov))
+            + np.abs(d_iu + 1.0)
+            + np.abs(d_iv + 1.0)
+            - (np.abs(d_iu) + np.abs(d_iv))
+        )
+        shared = (out_u == in_u) | (out_u == in_v) | (out_v == in_u) | (out_v == in_v)
+        if shared.any():
+            for k in np.nonzero(shared)[0].tolist():
+                change[k] = self.swap_change_scalar_ids(
+                    int(out_u[k]), int(out_v[k]), int(in_u[k]), int(in_v[k])
+                )
+        return change
+
+
 def compute_delta(original: Graph, reduced: Graph, p: float) -> float:
     """``Δ`` of an already-built reduced graph against ``original`` and ``p``.
 
@@ -180,6 +486,20 @@ def compute_delta(original: Graph, reduced: Graph, p: float) -> float:
     """
     if not 0.0 < p < 1.0:
         raise InvalidRatioError(p)
+    if original._csr_cache is not None:
+        # Array path when a CSR snapshot already exists (every engine run
+        # leaves one behind): same per-node terms and the same left-to-right
+        # summation order as the scalar loop, so the result is bit-identical.
+        csr = original._csr_cache
+        reduced_adj = reduced._adj
+        empty: set = set()
+        reduced_degrees = np.fromiter(
+            (len(reduced_adj.get(node, empty)) for node in csr.labels),
+            dtype=np.int64,
+            count=csr.num_nodes,
+        )
+        terms = np.abs(reduced_degrees - p * csr.degree_array())
+        return float(sum(terms.tolist()))
     delta = 0.0
     for node in original.nodes():
         reduced_degree = reduced.degree(node) if reduced.has_node(node) else 0

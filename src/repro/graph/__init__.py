@@ -67,6 +67,7 @@ from repro.graph.sampling import select_source_ids, select_sources
 from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
 from repro.graph.matching import (
     greedy_b_matching,
+    greedy_b_matching_ids,
     is_b_matching,
     is_maximal_b_matching,
 )
@@ -160,6 +161,7 @@ __all__ = [
     "estimate_powerlaw_exponent",
     # matching
     "greedy_b_matching",
+    "greedy_b_matching_ids",
     "is_b_matching",
     "is_maximal_b_matching",
     # generators

@@ -78,7 +78,17 @@ class CSRAdjacency:
         indices = np.ascontiguousarray(tails[order])
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
-        return cls(indptr=indptr, indices=indices, labels=labels, index_of=index_of)
+        # The one Python-speed pass above already produced the endpoint ids
+        # in Graph.edges() iteration order; keep them so edge-scan consumers
+        # (greedy b-matching, the shedding engines) never pay for it again.
+        derived = {"edge_list_ids": (np.ascontiguousarray(u), np.ascontiguousarray(v))}
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            labels=labels,
+            index_of=index_of,
+            _derived=derived,
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -125,6 +135,24 @@ class CSRAdjacency:
             self._derived["pairs"] = (forward, backward)
         return self._derived["pairs"]
 
+    def edge_list_ids(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(u_ids, v_ids)`` of every edge in :meth:`Graph.edges` scan order.
+
+        This is the orientation and *iteration order* of the originating
+        graph's edge scan (earlier-inserted endpoint first, so always
+        ``u_id < v_id``), which is what order-sensitive edge scans — greedy
+        b-matching, CRR's shed-pool construction — must replicate.  Distinct
+        from :meth:`canonical_edge_ids`, which enumerates edges in
+        lexicographic id order.
+        """
+        if "edge_list_ids" not in self._derived:
+            # Only reachable for snapshots built without from_graph's
+            # precomputation (e.g. constructed directly in tests): fall back
+            # to the lexicographic enumeration, which is a valid scan order
+            # for a graph nobody iterates.
+            self._derived["edge_list_ids"] = self.canonical_edge_ids()
+        return self._derived["edge_list_ids"]
+
     def canonical_edge_ids(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(u_ids, v_ids)`` of every edge, canonical orientation, length ``m``.
 
@@ -132,3 +160,57 @@ class CSRAdjacency:
         """
         forward, _ = self.undirected_entries()
         return self.entry_heads()[forward], self.indices[forward]
+
+    def edge_key_set(self) -> frozenset:
+        """Every edge as an integer key ``min_id * n + max_id`` (memoised).
+
+        The id-space analogue of a ``frozenset``-of-edges membership
+        structure; shared by every :class:`ArrayDegreeTracker` built on the
+        same snapshot.
+        """
+        if "edge_keys" not in self._derived:
+            edge_u, edge_v = self.edge_list_ids()
+            keys = np.minimum(edge_u, edge_v) * self.num_nodes + np.maximum(edge_u, edge_v)
+            self._derived["edge_keys"] = frozenset(keys.tolist())
+        return self._derived["edge_keys"]
+
+    def labels_array(self) -> np.ndarray:
+        """``object[n]`` of node labels, for bulk id → label gathers (memoised)."""
+        if "labels_array" not in self._derived:
+            # dtype=object up front so tuple/str labels are never coerced
+            # into numpy scalars or a 2-D array.
+            arr = np.empty(len(self.labels), dtype=object)
+            arr[:] = self.labels
+            self._derived["labels_array"] = arr
+        return self._derived["labels_array"]
+
+    def subgraph_from_edge_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> Graph:
+        """Build the full-node-set subgraph keeping exactly the given edges.
+
+        The array-engine counterpart of :meth:`Graph.edge_subgraph` (with
+        ``keep_all_nodes=True``): the adjacency is assembled by one grouped
+        sort over the endpoint arrays instead of per-edge set inserts, and
+        node order is the snapshot's id order, which preserves the
+        originating graph's relative insertion order (so canonical edge
+        orientations are unchanged).  The caller must pass distinct edges of
+        the snapshotted graph — the shedding engines sample their pools from
+        :meth:`edge_list_ids`, which guarantees both.
+        """
+        n = self.num_nodes
+        labels = self.labels
+        heads = np.concatenate((edge_u, edge_v))
+        tails = np.concatenate((edge_v, edge_u))
+        tails_sorted = tails[np.argsort(heads, kind="stable")]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(heads, minlength=n), out=offsets[1:])
+        tail_labels = self.labels_array()[tails_sorted].tolist()
+        bounds = offsets.tolist()
+        graph = Graph()
+        graph._adj = {
+            node: set(tail_labels[start:end])
+            for node, start, end in zip(labels, bounds, bounds[1:])
+        }
+        graph._order = dict(zip(labels, range(n)))
+        graph._next_order = n
+        graph._num_edges = int(edge_u.shape[0])
+        return graph

@@ -245,13 +245,32 @@ class Graph:
         so a "reduced graph" can never silently invent edges.
         """
         sub = Graph()
-        if keep_all_nodes:
-            for node in self._adj:
-                sub.add_node(node)
+        if not keep_all_nodes:
+            for u, v in edges:
+                if not self.has_edge(u, v):
+                    raise EdgeNotFoundError(u, v)
+                sub.add_edge(u, v)
+            return sub
+        # Full-node-set path (the paper's V' = V convention): build the
+        # adjacency directly instead of going through add_edge, which would
+        # re-run node creation and self-loop checks per edge.  Every
+        # reduction result funnels through here, so this is a hot tail.
+        self_adj = self._adj
+        adj: Dict[Node, Set[Node]] = {node: set() for node in self_adj}
+        count = 0
         for u, v in edges:
-            if not self.has_edge(u, v):
+            neighbors = self_adj.get(u)
+            if neighbors is None or v not in neighbors:
                 raise EdgeNotFoundError(u, v)
-            sub.add_edge(u, v)
+            targets = adj[u]
+            if v not in targets:
+                targets.add(v)
+                adj[v].add(u)
+                count += 1
+        sub._adj = adj
+        sub._order = dict(self._order)
+        sub._next_order = self._next_order
+        sub._num_edges = count
         return sub
 
     def node_subgraph(self, nodes: Iterable[Node]) -> "Graph":

@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.graph import Edge, Graph, Node
 from repro.rng import RandomState, ensure_rng
 
 __all__ = [
     "greedy_b_matching",
+    "greedy_b_matching_ids",
     "is_b_matching",
     "is_maximal_b_matching",
 ]
@@ -63,6 +66,150 @@ def greedy_b_matching(
             load[u] += 1
             load[v] += 1
     return matched
+
+
+def _sequential_greedy_mask(
+    edge_u: np.ndarray, edge_v: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """The sequential greedy scan over id arrays.
+
+    A Python loop, but over plain ints with list-indexed loads — no label
+    hashing, no per-edge allocations — which makes it several times faster
+    than the dict scan and, measured on ER/power-law graphs from 10⁴ to
+    3·10⁵ edges, faster than speculative vectorized formulations of the
+    same scan (whose round counts grow with the graph's decision-chain
+    depth; see :func:`greedy_b_matching_ids`).
+    """
+    kept = np.zeros(edge_u.shape[0], dtype=bool)
+    caps = capacities.tolist()
+    loads = [0] * capacities.shape[0]
+    kept_positions = []
+    append = kept_positions.append
+    for k, (u, v) in enumerate(zip(edge_u.tolist(), edge_v.tolist())):
+        if loads[u] < caps[u] and loads[v] < caps[v]:
+            append(k)
+            loads[u] += 1
+            loads[v] += 1
+    kept[kept_positions] = True
+    return kept
+
+
+def greedy_b_matching_ids(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    capacities: np.ndarray,
+    max_rounds: int = 0,
+) -> np.ndarray:
+    """Array-native greedy maximal b-matching over integer-id edge arrays.
+
+    Semantically identical to :func:`greedy_b_matching`'s sequential scan:
+    edge ``k`` (in input order) is kept iff fewer than ``capacities[u]`` kept
+    edges among positions ``0..k-1`` touch ``u``, and likewise for ``v``.
+    Returns a boolean kept-mask aligned with the input arrays.
+
+    By default the scan runs directly over the id arrays with integer
+    load/capacity vectors (:func:`_sequential_greedy_mask`).  The greedy
+    scan's outcome forms sequential decision chains whose depth grows with
+    the graph, so speculative vectorized evaluation — implemented here as
+    optional fixpoint rounds, enabled with ``max_rounds > 0`` — decides only
+    a shrinking fraction of edges per ``O(m)``-cost round and, measured on
+    ER and power-law graphs between 10⁴ and 3·10⁵ edges, never recoups the
+    round cost.  The array layout itself is where the speed-up lives: the
+    id scan runs ~4x faster than the dict/label scan.
+
+    A fixpoint round classifies each still-undecided edge by counting the
+    *decided-kept* (``lo``) and *potentially-kept* (``hi`` = decided plus
+    undecided) earlier edges at each endpoint: ``hi_u < cap_u and hi_v <
+    cap_v`` means kept no matter how earlier undecided edges resolve, and
+    ``lo_u >= cap_u or lo_v >= cap_v`` means dropped no matter what.  After
+    the rounds (or earlier, once few edges remain undecided), an exact
+    scalar pass seeded with the decided-kept counts finishes the job, so
+    the result is identical to the plain scan for any ``max_rounds``.
+
+    Raises :class:`GraphError` on negative capacities.
+    """
+    m = int(edge_u.shape[0])
+    n = int(capacities.shape[0])
+    if np.any(capacities < 0):
+        worst = int(np.argmin(capacities))
+        raise GraphError(
+            f"capacity for node id {worst} is negative: {int(capacities[worst])}"
+        )
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    if max_rounds <= 0:
+        return _sequential_greedy_mask(edge_u, edge_v, capacities)
+
+    # Half-edge layout, grouped by node with positions ascending inside each
+    # group; built once, reused every round for grouped prefix counts.  The
+    # halves are interleaved (u₀ v₀ u₁ v₁ …) so that one stable argsort by
+    # node already yields ascending positions within each group.
+    node_h = np.empty(2 * m, dtype=np.int64)
+    node_h[0::2] = edge_u
+    node_h[1::2] = edge_v
+    pos_h = np.repeat(np.arange(m, dtype=np.int64), 2)
+    order = np.argsort(node_h, kind="stable")
+    edge_of_sorted = pos_h[order]
+    counts = np.bincount(node_h, minlength=n)
+    # Position of each edge's u-half / v-half inside the sorted layout.
+    inverse = np.empty(2 * m, dtype=np.int64)
+    inverse[order] = np.arange(2 * m, dtype=np.int64)
+    inv_u, inv_v = inverse[0::2], inverse[1::2]
+    group_starts = np.cumsum(counts) - counts
+    cap_u = capacities[edge_u]
+    cap_v = capacities[edge_v]
+
+    kept = np.zeros(m, dtype=bool)
+    undecided = np.ones(m, dtype=bool)
+
+    def _grouped_exclusive_prefix(flags: np.ndarray) -> np.ndarray:
+        """Per half-edge: count of earlier same-node edges with flag set."""
+        flagged = flags[edge_of_sorted].astype(np.int64)
+        cumulative = np.cumsum(flagged)
+        exclusive = cumulative - flagged
+        base = np.concatenate(([0], cumulative))[group_starts]
+        return exclusive - np.repeat(base, counts)
+
+    # Below this many undecided edges, the scalar finish beats another round.
+    threshold = max(512, m >> 2)
+    for _ in range(max_rounds):
+        lo = _grouped_exclusive_prefix(kept)
+        pending = _grouped_exclusive_prefix(undecided)
+        lo_u, lo_v = lo[inv_u], lo[inv_v]
+        hi_u = lo_u + pending[inv_u]
+        hi_v = lo_v + pending[inv_v]
+        decide_keep = undecided & (hi_u < cap_u) & (hi_v < cap_v)
+        decide_drop = undecided & ((lo_u >= cap_u) | (lo_v >= cap_v))
+        kept |= decide_keep
+        undecided &= ~(decide_keep | decide_drop)
+        count = int(np.count_nonzero(undecided))
+        if count == 0:
+            return kept
+        if count <= threshold:
+            break
+
+    # Exact scalar finish.  For an undecided edge, the load each endpoint
+    # has accumulated before it = decided-kept earlier edges (``lo``, now
+    # final) + undecided-kept earlier edges (tallied as we walk the
+    # remaining positions in ascending order).
+    remaining = np.nonzero(undecided)[0]
+    lo = _grouped_exclusive_prefix(kept)
+    rem_u = edge_u[remaining].tolist()
+    rem_v = edge_v[remaining].tolist()
+    rem_lo_u = lo[inv_u[remaining]].tolist()
+    rem_lo_v = lo[inv_v[remaining]].tolist()
+    rem_cap_u = cap_u[remaining].tolist()
+    rem_cap_v = cap_v[remaining].tolist()
+    extra = [0] * n
+    newly_kept = []
+    for k in range(len(rem_u)):
+        u, v = rem_u[k], rem_v[k]
+        if rem_lo_u[k] + extra[u] < rem_cap_u[k] and rem_lo_v[k] + extra[v] < rem_cap_v[k]:
+            newly_kept.append(k)
+            extra[u] += 1
+            extra[v] += 1
+    kept[remaining[newly_kept]] = True
+    return kept
 
 
 def _matched_loads(graph: Graph, edges: Iterable[Edge]) -> Dict[Node, int]:

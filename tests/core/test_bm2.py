@@ -123,6 +123,65 @@ class TestRoundingRules:
             assert small_powerlaw.has_edge(u, v)
 
 
+class TestBM2Engines:
+    """The array phases must keep the identical edge set as the dict scan."""
+
+    _STAT_KEYS = (
+        "matched_edges",
+        "repair_edges",
+        "group_a_size",
+        "group_b_size",
+        "candidate_edges",
+    )
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            BM2Shedder(engine="gpu")
+
+    @pytest.mark.parametrize("p", [0.25, 0.4, 0.5, 0.65])
+    def test_engines_produce_identical_reductions(self, small_powerlaw, p):
+        legacy = BM2Shedder(seed=1, engine="legacy").reduce(small_powerlaw, p)
+        array = BM2Shedder(seed=1, engine="array").reduce(small_powerlaw, p)
+        assert array.reduced == legacy.reduced
+        for key in self._STAT_KEYS:
+            assert array.stats[key] == legacy.stats[key]
+        assert array.delta == pytest.approx(legacy.delta, abs=1e-9)
+
+    def test_engines_agree_with_shuffled_scan(self, small_powerlaw):
+        legacy = BM2Shedder(seed=6, shuffle_edges=True, engine="legacy").reduce(
+            small_powerlaw, 0.5
+        )
+        array = BM2Shedder(seed=6, shuffle_edges=True, engine="array").reduce(
+            small_powerlaw, 0.5
+        )
+        assert array.reduced == legacy.reduced
+        for key in self._STAT_KEYS:
+            assert array.stats[key] == legacy.stats[key]
+
+    @pytest.mark.parametrize("rounding", ["half_up", "half_even", "floor", "ceil"])
+    def test_engines_agree_on_every_rounding_rule(self, small_powerlaw, rounding):
+        legacy = BM2Shedder(rounding=rounding, engine="legacy").reduce(small_powerlaw, 0.45)
+        array = BM2Shedder(rounding=rounding, engine="array").reduce(small_powerlaw, 0.45)
+        assert array.reduced == legacy.reduced
+
+    def test_engines_agree_with_zero_gain_edges(self, figure1):
+        legacy = BM2Shedder(accept_zero_gain=True, engine="legacy").reduce(figure1, 0.4)
+        array = BM2Shedder(accept_zero_gain=True, engine="array").reduce(figure1, 0.4)
+        assert array.reduced == legacy.reduced
+
+    def test_legacy_engine_matches_paper_example(self, figure1):
+        result = BM2Shedder(seed=0, engine="legacy").reduce(figure1, 0.4)
+        assert result.delta == pytest.approx(4.4)
+        assert result.stats["matched_edges"] == 2
+
+    @pytest.mark.parametrize("engine", ["array", "legacy"])
+    def test_phase_timings_recorded(self, small_powerlaw, engine):
+        result = BM2Shedder(engine=engine).reduce(small_powerlaw, 0.5)
+        assert result.stats["engine"] == engine
+        assert result.stats["phase1_seconds"] >= 0.0
+        assert result.stats["phase2_seconds"] >= 0.0
+
+
 class TestBipartiteRepair:
     def _tracker(self, graph, p, matched):
         tracker = DegreeTracker(graph, p)

@@ -46,6 +46,11 @@ class TestIndexedEdgePool:
             pool.remove((i, i + 1))
         assert sorted(pool.items()) == [(i, i + 1) for i in range(1, 10, 2)]
 
+    def test_accepts_any_iterable(self):
+        pool = IndexedEdgePool(e for e in [(1, 2), (2, 3)])
+        assert len(pool) == 2
+        assert IndexedEdgePool(()).items() == []
+
 
 class TestCRRBasics:
     def test_edge_count_is_nearest_integer(self, figure1):
@@ -142,6 +147,53 @@ class TestCRRQuality:
     def test_stats_record_ranking_mode(self, small_powerlaw):
         result = CRRShedder(skip_ranking=True, seed=0).reduce(small_powerlaw, 0.5)
         assert result.stats["initial_ranking"] == "random"
+
+
+class TestCRREngines:
+    """The array rewiring engine must replay the legacy loop exactly."""
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            CRRShedder(engine="gpu")
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_engines_produce_identical_reductions(self, small_powerlaw, p):
+        legacy = CRRShedder(seed=9, num_betweenness_sources=32, engine="legacy").reduce(
+            small_powerlaw, p
+        )
+        array = CRRShedder(seed=9, num_betweenness_sources=32, engine="array").reduce(
+            small_powerlaw, p
+        )
+        assert array.reduced == legacy.reduced
+        assert array.stats["accepted_swaps"] == legacy.stats["accepted_swaps"]
+        assert array.stats["attempted_swaps"] == legacy.stats["attempted_swaps"]
+        assert array.stats["tracker_delta"] == pytest.approx(
+            legacy.stats["tracker_delta"], abs=1e-9
+        )
+
+    def test_engines_agree_with_random_ranking(self, small_powerlaw):
+        legacy = CRRShedder(seed=3, skip_ranking=True, engine="legacy").reduce(
+            small_powerlaw, 0.5
+        )
+        array = CRRShedder(seed=3, skip_ranking=True, engine="array").reduce(
+            small_powerlaw, 0.5
+        )
+        assert array.reduced == legacy.reduced
+        # p = 0.5 keeps every p·deg exactly representable: Δ is bit-identical.
+        assert array.stats["tracker_delta"] == legacy.stats["tracker_delta"]
+
+    def test_legacy_engine_reaches_paper_optimum(self, figure1):
+        result = CRRShedder(seed=0, engine="legacy").reduce(figure1, 0.4)
+        assert result.delta == pytest.approx(4.4)
+
+    @pytest.mark.parametrize("engine", ["array", "legacy"])
+    def test_phase_timings_recorded(self, small_powerlaw, engine):
+        result = CRRShedder(seed=0, num_betweenness_sources=32, engine=engine).reduce(
+            small_powerlaw, 0.5
+        )
+        assert result.stats["engine"] == engine
+        assert result.stats["ranking_seconds"] >= 0.0
+        assert result.stats["rewiring_seconds"] >= 0.0
 
 
 class TestCRREdgeCases:

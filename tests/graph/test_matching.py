@@ -1,16 +1,26 @@
 """Tests for greedy b-matching."""
 
+import numpy as np
 import pytest
 
 from repro.errors import GraphError
 from repro.graph import (
     Graph,
     greedy_b_matching,
+    greedy_b_matching_ids,
     is_b_matching,
     is_maximal_b_matching,
     paper_figure1_graph,
     star_graph,
 )
+
+
+def _id_arrays(graph, capacities):
+    """Map a graph + label-keyed capacities to the id-array calling convention."""
+    csr = graph.csr()
+    edge_u, edge_v = csr.edge_list_ids()
+    caps = np.array([capacities[node] for node in csr.labels], dtype=np.int64)
+    return csr, edge_u, edge_v, caps
 
 
 class TestGreedyBMatching:
@@ -72,6 +82,55 @@ class TestGreedyBMatching:
             for seed in range(10)
         }
         assert len(picks) > 1
+
+
+class TestGreedyBMatchingIds:
+    def test_matches_label_scan(self, k5):
+        capacities = {node: 2 for node in k5.nodes()}
+        csr, edge_u, edge_v, caps = _id_arrays(k5, capacities)
+        kept = greedy_b_matching_ids(edge_u, edge_v, caps)
+        labels = csr.labels
+        from_ids = [
+            (labels[u], labels[v])
+            for u, v in zip(edge_u[kept].tolist(), edge_v[kept].tolist())
+        ]
+        assert from_ids == greedy_b_matching(k5, capacities)
+
+    def test_matches_label_scan_on_paper_example(self):
+        g = paper_figure1_graph()
+        capacities = {node: round(0.4 * g.degree(node)) for node in g.nodes()}
+        csr, edge_u, edge_v, caps = _id_arrays(g, capacities)
+        kept = greedy_b_matching_ids(edge_u, edge_v, caps)
+        assert int(np.count_nonzero(kept)) == 2
+
+    def test_empty_edge_arrays(self):
+        empty = np.empty(0, dtype=np.int64)
+        kept = greedy_b_matching_ids(empty, empty, np.array([1, 1], dtype=np.int64))
+        assert kept.shape == (0,)
+        assert kept.dtype == bool
+
+    def test_zero_capacity_keeps_nothing(self, star4):
+        csr, edge_u, edge_v, caps = _id_arrays(star4, dict.fromkeys(star4.nodes(), 0))
+        assert not greedy_b_matching_ids(edge_u, edge_v, caps).any()
+
+    def test_negative_capacity_rejected(self, triangle):
+        csr, edge_u, edge_v, _ = _id_arrays(triangle, dict.fromkeys(triangle.nodes(), 1))
+        with pytest.raises(GraphError):
+            greedy_b_matching_ids(edge_u, edge_v, np.array([1, 1, -1], dtype=np.int64))
+
+    @pytest.mark.parametrize("max_rounds", [1, 2, 64])
+    def test_fixpoint_rounds_match_plain_scan(self, max_rounds):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(80, 0.08, seed=7)
+        rng = np.random.default_rng(7)
+        capacities = {node: int(rng.integers(0, 4)) for node in g.nodes()}
+        _, edge_u, edge_v, caps = _id_arrays(g, capacities)
+        baseline = greedy_b_matching_ids(edge_u, edge_v, caps, max_rounds=0)
+        np.testing.assert_array_equal(
+            greedy_b_matching_ids(edge_u, edge_v, caps, max_rounds=max_rounds),
+            baseline,
+        )
 
 
 class TestValidity:

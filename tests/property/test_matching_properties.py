@@ -1,9 +1,16 @@
 """Property-based tests for greedy b-matching (hypothesis)."""
 
 import hypothesis.strategies as st
+import numpy as np
 from hypothesis import given, settings
 
-from repro.graph import Graph, greedy_b_matching, is_b_matching, is_maximal_b_matching
+from repro.graph import (
+    Graph,
+    greedy_b_matching,
+    greedy_b_matching_ids,
+    is_b_matching,
+    is_maximal_b_matching,
+)
 
 
 @st.composite
@@ -47,6 +54,24 @@ def test_shuffled_scan_still_valid_and_maximal(gc, seed):
     matched = greedy_b_matching(g, capacities, shuffle_seed=seed)
     assert is_b_matching(g, matched, capacities)
     assert is_maximal_b_matching(g, matched, capacities)
+
+
+@given(graph_and_capacities(), st.sampled_from([0, 1, 64]))
+@settings(max_examples=60, deadline=None)
+def test_ids_scan_matches_label_scan(gc, max_rounds):
+    """greedy_b_matching_ids keeps exactly the label scan's edges, for any
+    max_rounds (the fixpoint rounds plus scalar finish are exact)."""
+    g, capacities = gc
+    csr = g.csr()
+    edge_u, edge_v = csr.edge_list_ids()
+    caps = np.array([capacities[node] for node in csr.labels], dtype=np.int64)
+    kept = greedy_b_matching_ids(edge_u, edge_v, caps, max_rounds=max_rounds)
+    labels = csr.labels
+    from_ids = [
+        (labels[u], labels[v])
+        for u, v in zip(edge_u[kept].tolist(), edge_v[kept].tolist())
+    ]
+    assert from_ids == greedy_b_matching(g, capacities)
 
 
 @given(graph_and_capacities())
