@@ -6,6 +6,7 @@ Subcommands::
     repro-shed evaluate    --dataset ca-grqc --method crr --p 0.5 [--tasks topk,degree]
     repro-shed progressive --dataset ca-grqc --method bm2 --ratios 0.8,0.5,0.2
     repro-shed stats       --dataset ca-grqc [--input edgelist.txt]
+    repro-shed dynamic     --dataset ca-grqc --churn mixed --ops 5000
     repro-shed bench       --experiment tab8 [--full]
     repro-shed datasets
 
@@ -123,6 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser = sub.add_parser("stats", help="structural summary of a graph")
     add_common(stats_parser)
 
+    dynamic_parser = sub.add_parser(
+        "dynamic", help="incremental maintenance under a churn workload"
+    )
+    add_common(dynamic_parser)
+    dynamic_parser.add_argument(
+        "--churn",
+        default="mixed",
+        choices=["insert", "sliding", "mixed"],
+        help="churn workload shape (see repro.dynamic.workloads)",
+    )
+    dynamic_parser.add_argument(
+        "--ops", type=int, default=5000, help="number of churn operations to replay"
+    )
+    dynamic_parser.add_argument(
+        "--drift-ratio",
+        type=float,
+        default=1.0,
+        help="rebuild trigger as a multiple of the Theorem-2 envelope",
+    )
+    dynamic_parser.add_argument(
+        "--reservoir", type=int, default=256, help="held-back edge reservoir capacity"
+    )
+
     bench_parser = sub.add_parser("bench", help="run a paper table/figure experiment")
     bench_parser.add_argument(
         "--experiment", required=True, choices=sorted(ALL_EXPERIMENTS)
@@ -229,6 +253,60 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dynamic import DriftMonitor, IncrementalShedder, generate_workload
+
+    graph = _load_graph(args)
+    shedder = _make_shedder(args.method, args.seed, args.sources)
+    ops = generate_workload(args.churn, graph, args.ops, seed=args.seed)
+    maintainer = IncrementalShedder(
+        graph,
+        args.p,
+        shedder,
+        drift=DriftMonitor(args.p, drift_ratio=args.drift_ratio),
+        reservoir_size=args.reservoir,
+        seed=args.seed,
+    )
+    print(
+        f"seed reduction: {graph.num_nodes} nodes / {graph.num_edges} edges, "
+        f"delta={maintainer.delta:.1f}"
+    )
+    latencies = maintainer.replay(ops, collect_latencies=True)
+    micros = np.asarray(latencies) * 1e6
+    live_delta = maintainer.delta
+    stats = maintainer.stats
+    print(
+        f"replayed {stats['ops']} ops ({stats['inserts']} inserts, "
+        f"{stats['deletes']} deletes) -> {maintainer.graph.num_nodes} nodes / "
+        f"{maintainer.graph.num_edges} edges"
+    )
+    print(
+        "per-op latency: "
+        f"p50={np.percentile(micros, 50):.1f}us "
+        f"p90={np.percentile(micros, 90):.1f}us "
+        f"p99={np.percentile(micros, 99):.1f}us "
+        f"max={micros.max():.1f}us"
+    )
+    print(
+        f"admitted={stats['admitted']} rejected={stats['rejected']} "
+        f"evicted={stats['evicted']} promoted={stats['promoted']} "
+        f"demoted={stats['demoted']} swapped={stats['swapped']} "
+        f"rebuilds={stats['rebuilds']}"
+    )
+    offline = _make_shedder(args.method, args.seed, args.sources)
+    offline_result = offline.reduce(maintainer.graph, args.p)
+    envelope = maintainer.monitor.envelope(
+        maintainer.graph.num_nodes, maintainer.graph.num_edges
+    )
+    print(
+        f"final delta: live={live_delta:.1f} vs offline {offline_result.method}="
+        f"{offline_result.delta:.1f} (Theorem-2 envelope {envelope:.1f})"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     runner = ALL_EXPERIMENTS[args.experiment]
     report = runner(quick=not args.full, seed=args.seed)
@@ -257,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_progressive(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "dynamic":
+        return _cmd_dynamic(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "datasets":

@@ -18,8 +18,12 @@ from repro.core.crr import CRRShedder, IndexedEdgePool
 from repro.core.discrepancy import (
     ArrayDegreeTracker,
     DegreeTracker,
+    add_change_from_dis,
     compute_delta,
+    remove_change_from_dis,
     round_half_up,
+    swap_change_from_dis,
+    swap_change_scalar_from_dis,
 )
 from repro.core.local_shed import JaccardShedder, LocalDegreeShedder
 from repro.core.progressive import progressive_reduce
@@ -39,6 +43,10 @@ __all__ = [
     "DegreeTracker",
     "compute_delta",
     "round_half_up",
+    "add_change_from_dis",
+    "remove_change_from_dis",
+    "swap_change_from_dis",
+    "swap_change_scalar_from_dis",
     "crr_average_delta_bound",
     "bm2_average_delta_bound",
     "crr_bound_for_graph",

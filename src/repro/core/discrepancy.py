@@ -21,7 +21,16 @@ import numpy as np
 from repro.errors import EdgeNotFoundError, InvalidRatioError, ReductionError
 from repro.graph.graph import Edge, Graph, Node
 
-__all__ = ["ArrayDegreeTracker", "DegreeTracker", "compute_delta", "round_half_up"]
+__all__ = [
+    "ArrayDegreeTracker",
+    "DegreeTracker",
+    "add_change_from_dis",
+    "compute_delta",
+    "remove_change_from_dis",
+    "round_half_up",
+    "swap_change_from_dis",
+    "swap_change_scalar_from_dis",
+]
 
 
 def round_half_up(value: float) -> int:
@@ -33,6 +42,74 @@ def round_half_up(value: float) -> int:
     (``round_half_up(4.5) == 5``).
     """
     return int(math.floor(value + 0.5)) if value >= 0 else -int(math.floor(-value + 0.5))
+
+
+def add_change_from_dis(dis: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+    """Vectorized ``d_2`` (Δ-change of adding each edge) over a ``dis`` array.
+
+    The formula every tracker flavour shares; both
+    :meth:`ArrayDegreeTracker.add_change_ids` and the dynamic-maintenance
+    tracker (:mod:`repro.dynamic`) delegate here so their scores cannot
+    drift apart.
+    """
+    du, dv = dis[edge_u], dis[edge_v]
+    return np.abs(du + 1.0) + np.abs(dv + 1.0) - (np.abs(du) + np.abs(dv))
+
+
+def remove_change_from_dis(dis: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+    """Vectorized ``d_1`` (Δ-change of removing each edge) over a ``dis`` array."""
+    du, dv = dis[edge_u], dis[edge_v]
+    return np.abs(du - 1.0) + np.abs(dv - 1.0) - (np.abs(du) + np.abs(dv))
+
+
+def swap_change_scalar_from_dis(
+    dis: np.ndarray, out_u: int, out_v: int, in_u: int, in_v: int
+) -> float:
+    """Exact joint swap change for one id quadruple (shared endpoints OK)."""
+    touched = {out_u, out_v, in_u, in_v}
+    shift: Dict[int, int] = dict.fromkeys(touched, 0)
+    shift[out_u] -= 1
+    shift[out_v] -= 1
+    shift[in_u] += 1
+    shift[in_v] += 1
+    change = 0.0
+    for node in touched:
+        before = float(dis[node])
+        change += abs(before + shift[node]) - abs(before)
+    return change
+
+
+def swap_change_from_dis(
+    dis: np.ndarray,
+    out_u: np.ndarray,
+    out_v: np.ndarray,
+    in_u: np.ndarray,
+    in_v: np.ndarray,
+) -> np.ndarray:
+    """Vectorized exact swap change over batches of candidate swaps.
+
+    The vector expression is the disjoint-endpoint ``d_1 + d_2`` sum;
+    positions where the outgoing and incoming edges share an endpoint
+    (where that sum double-counts the shared node) are recomputed with
+    the exact scalar joint formula.
+    """
+    d_ou, d_ov = dis[out_u], dis[out_v]
+    d_iu, d_iv = dis[in_u], dis[in_v]
+    change = (
+        np.abs(d_ou - 1.0)
+        + np.abs(d_ov - 1.0)
+        - (np.abs(d_ou) + np.abs(d_ov))
+        + np.abs(d_iu + 1.0)
+        + np.abs(d_iv + 1.0)
+        - (np.abs(d_iu) + np.abs(d_iv))
+    )
+    shared = (out_u == in_u) | (out_u == in_v) | (out_v == in_u) | (out_v == in_v)
+    if shared.any():
+        for k in np.nonzero(shared)[0].tolist():
+            change[k] = swap_change_scalar_from_dis(
+                dis, int(out_u[k]), int(out_v[k]), int(in_u[k]), int(in_v[k])
+            )
+    return change
 
 
 class DegreeTracker:
@@ -417,30 +494,15 @@ class ArrayDegreeTracker:
 
     def swap_change_scalar_ids(self, out_u: int, out_v: int, in_u: int, in_v: int) -> float:
         """Exact joint swap change for one id quadruple (shared endpoints OK)."""
-        touched = {out_u, out_v, in_u, in_v}
-        shift: Dict[int, int] = dict.fromkeys(touched, 0)
-        shift[out_u] -= 1
-        shift[out_v] -= 1
-        shift[in_u] += 1
-        shift[in_v] += 1
-        dis = self._dis
-        change = 0.0
-        for node in touched:
-            before = float(dis[node])
-            change += abs(before + shift[node]) - abs(before)
-        return change
+        return swap_change_scalar_from_dis(self._dis, out_u, out_v, in_u, in_v)
 
     def add_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`add_change` over endpoint id arrays."""
-        dis = self._dis
-        du, dv = dis[edge_u], dis[edge_v]
-        return np.abs(du + 1.0) + np.abs(dv + 1.0) - (np.abs(du) + np.abs(dv))
+        return add_change_from_dis(self._dis, edge_u, edge_v)
 
     def remove_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`remove_change` over endpoint id arrays."""
-        dis = self._dis
-        du, dv = dis[edge_u], dis[edge_v]
-        return np.abs(du - 1.0) + np.abs(dv - 1.0) - (np.abs(du) + np.abs(dv))
+        return remove_change_from_dis(self._dis, edge_u, edge_v)
 
     def swap_change_ids(
         self,
@@ -451,30 +513,10 @@ class ArrayDegreeTracker:
     ) -> np.ndarray:
         """Vectorized :meth:`swap_change` over batches of candidate swaps.
 
-        The vector expression is the disjoint-endpoint ``d_1 + d_2`` sum;
-        positions where the outgoing and incoming edges share an endpoint
-        (where that sum double-counts the shared node) are recomputed with
-        the exact scalar joint formula, so every entry matches
-        :meth:`swap_change` for the same pair of edges.
+        Every entry matches :meth:`swap_change` for the same pair of edges,
+        including shared-endpoint pairs (see :func:`swap_change_from_dis`).
         """
-        dis = self._dis
-        d_ou, d_ov = dis[out_u], dis[out_v]
-        d_iu, d_iv = dis[in_u], dis[in_v]
-        change = (
-            np.abs(d_ou - 1.0)
-            + np.abs(d_ov - 1.0)
-            - (np.abs(d_ou) + np.abs(d_ov))
-            + np.abs(d_iu + 1.0)
-            + np.abs(d_iv + 1.0)
-            - (np.abs(d_iu) + np.abs(d_iv))
-        )
-        shared = (out_u == in_u) | (out_u == in_v) | (out_v == in_u) | (out_v == in_v)
-        if shared.any():
-            for k in np.nonzero(shared)[0].tolist():
-                change[k] = self.swap_change_scalar_ids(
-                    int(out_u[k]), int(out_v[k]), int(in_u[k]), int(in_v[k])
-                )
-        return change
+        return swap_change_from_dis(self._dis, out_u, out_v, in_u, in_v)
 
 
 def compute_delta(original: Graph, reduced: Graph, p: float) -> float:

@@ -1,0 +1,44 @@
+"""Dynamic shedding: incremental Δ-maintenance under live edge churn.
+
+The offline engines (:mod:`repro.core`) answer the paper's static question;
+this package keeps their answer *alive* while the graph mutates.  The
+division of labour:
+
+* :class:`DynamicDegreeTracker` — growable array-native ``(deg, current,
+  dis)`` state; O(1) per event, bit-identical checkpoint Δ.
+* :class:`IncrementalShedder` — owns ``(G, G')``; capacity-gated
+  admission on insert, eviction on delete, O(1) amortized per op.
+* :class:`LocalRepairer` / :class:`RepairConfig` — localized demote /
+  promote / swap repair around the touched endpoints.
+* :class:`DriftMonitor` / :class:`DriftDecision` — rebuild policy against
+  the Theorem-2 envelope at the live graph size, with hysteresis.
+* :mod:`~repro.dynamic.workloads` — seeded churn generators for tests,
+  benchmarks and the ``dynamic`` CLI subcommand.
+"""
+
+from repro.dynamic.drift import DriftDecision, DriftMonitor
+from repro.dynamic.maintainer import ChurnOp, IncrementalShedder
+from repro.dynamic.repair import LocalRepairer, RepairConfig
+from repro.dynamic.tracker import DynamicDegreeTracker
+from repro.dynamic.workloads import (
+    WORKLOADS,
+    generate_workload,
+    insert_only_growth,
+    mixed_churn,
+    sliding_window,
+)
+
+__all__ = [
+    "ChurnOp",
+    "DriftDecision",
+    "DriftMonitor",
+    "DynamicDegreeTracker",
+    "IncrementalShedder",
+    "LocalRepairer",
+    "RepairConfig",
+    "WORKLOADS",
+    "generate_workload",
+    "insert_only_growth",
+    "mixed_churn",
+    "sliding_window",
+]

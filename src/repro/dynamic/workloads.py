@@ -1,0 +1,204 @@
+"""Seeded churn workload generators for the dynamic-maintenance layer.
+
+A workload is a list of ``("insert" | "delete", u, v)`` operations that is
+*valid against a given start graph*: every insert names a currently-absent
+edge, every delete a currently-present one.  The generators keep a shadow
+edge set (an :class:`~repro.core.crr.IndexedEdgePool` of canonical edge
+keys) while emitting ops, so a generated stream always replays cleanly
+through :class:`~repro.dynamic.IncrementalShedder` — or through an offline
+rebuild baseline — without touching the start graph itself.
+
+Three canonical shapes, mirroring the dynamic-graph literature:
+
+* :func:`insert_only_growth` — the graph only grows; a configurable
+  fraction of inserts attach brand-new nodes (labelled ``("dyn", k)``),
+  the rest densify the existing node set.
+* :func:`sliding_window` — every insert is paired with the deletion of
+  the oldest live edge (FIFO), modelling a fixed-width stream window.
+* :func:`mixed_churn` — a Bernoulli mix of inserts and deletes, the
+  general case the acceptance benchmark replays.
+
+All generators are deterministic for an integer seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Tuple
+
+from repro.core.crr import IndexedEdgePool
+from repro.errors import ReductionError
+from repro.graph.graph import Edge, Graph, Node
+from repro.rng import RandomState, ensure_rng
+
+__all__ = [
+    "WORKLOADS",
+    "generate_workload",
+    "insert_only_growth",
+    "mixed_churn",
+    "sliding_window",
+]
+
+ChurnOp = Tuple[str, Node, Node]
+
+
+def _canonical(u: Node, v: Node) -> Edge:
+    """One key per undirected edge; labels may be ints or ``("dyn", k)``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class _ShadowGraph:
+    """Edge/node shadow state the generators mutate while emitting ops."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.nodes: List[Node] = list(graph.nodes())
+        self.pool = IndexedEdgePool(_canonical(u, v) for u, v in graph.edges())
+        self.fresh = 0  # next ("dyn", k) label
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return _canonical(u, v) in self.pool
+
+    def insert(self, u: Node, v: Node) -> ChurnOp:
+        self.pool.add(_canonical(u, v))
+        return ("insert", u, v)
+
+    def delete(self, u: Node, v: Node) -> ChurnOp:
+        self.pool.remove(_canonical(u, v))
+        return ("delete", u, v)
+
+    def new_node(self) -> Node:
+        node = ("dyn", self.fresh)
+        self.fresh += 1
+        self.nodes.append(node)
+        return node
+
+    def random_node(self, rng) -> Node:
+        return self.nodes[int(rng.integers(len(self.nodes)))]
+
+    def fresh_attachment(self, rng) -> Tuple[Node, Node]:
+        """A brand-new node paired with an existing one (partner drawn first,
+        so the fresh node can never be its own neighbour)."""
+        partner = self.random_node(rng)
+        return self.new_node(), partner
+
+    def random_absent_pair(self, rng, tries: int = 64) -> Tuple[Node, Node]:
+        """A uniform-ish currently-absent pair; falls back to a fresh node."""
+        for _ in range(tries):
+            u = self.random_node(rng)
+            v = self.random_node(rng)
+            if u != v and not self.has_edge(u, v):
+                return u, v
+        # Near-clique fallback: attach a brand-new node instead of spinning.
+        return self.fresh_attachment(rng)
+
+
+def insert_only_growth(
+    graph: Graph,
+    num_ops: int,
+    seed: RandomState = None,
+    new_node_ratio: float = 0.2,
+) -> List[ChurnOp]:
+    """``num_ops`` inserts; a ``new_node_ratio`` fraction attach fresh nodes."""
+    if not 0.0 <= new_node_ratio <= 1.0:
+        raise ReductionError(
+            f"new_node_ratio must be in [0, 1], got {new_node_ratio}"
+        )
+    rng = ensure_rng(seed)
+    shadow = _ShadowGraph(graph)
+    if not shadow.nodes:
+        raise ReductionError("cannot generate churn against an empty graph")
+    ops: List[ChurnOp] = []
+    for _ in range(num_ops):
+        if rng.random() < new_node_ratio:
+            u, v = shadow.fresh_attachment(rng)
+        else:
+            u, v = shadow.random_absent_pair(rng)
+        ops.append(shadow.insert(u, v))
+    return ops
+
+
+def sliding_window(
+    graph: Graph,
+    num_ops: int,
+    seed: RandomState = None,
+) -> List[ChurnOp]:
+    """Alternate inserting a fresh edge and expiring the oldest live edge.
+
+    The window (FIFO over the start graph's edges, then over inserts)
+    keeps ``|E|`` constant after each insert/delete pair — the classic
+    bounded-stream regime.  Odd ``num_ops`` ends on an unpaired insert.
+    """
+    rng = ensure_rng(seed)
+    shadow = _ShadowGraph(graph)
+    if not shadow.nodes:
+        raise ReductionError("cannot generate churn against an empty graph")
+    window: Deque[Edge] = deque(_canonical(u, v) for u, v in graph.edges())
+    ops: List[ChurnOp] = []
+    while len(ops) < num_ops:
+        u, v = shadow.random_absent_pair(rng)
+        ops.append(shadow.insert(u, v))
+        window.append(_canonical(u, v))
+        if len(ops) < num_ops and window:
+            old_u, old_v = window.popleft()
+            ops.append(shadow.delete(old_u, old_v))
+    return ops
+
+
+def mixed_churn(
+    graph: Graph,
+    num_ops: int,
+    seed: RandomState = None,
+    insert_prob: float = 0.6,
+    new_node_ratio: float = 0.1,
+) -> List[ChurnOp]:
+    """Bernoulli mix: insert with ``insert_prob``, else delete a random edge.
+
+    Deletes draw uniformly from the live edge set; when no edges remain the
+    op falls back to an insert.  ``new_node_ratio`` of inserts attach a
+    fresh node, so the node universe grows slowly under churn.
+    """
+    if not 0.0 <= insert_prob <= 1.0:
+        raise ReductionError(f"insert_prob must be in [0, 1], got {insert_prob}")
+    if not 0.0 <= new_node_ratio <= 1.0:
+        raise ReductionError(
+            f"new_node_ratio must be in [0, 1], got {new_node_ratio}"
+        )
+    rng = ensure_rng(seed)
+    shadow = _ShadowGraph(graph)
+    if not shadow.nodes:
+        raise ReductionError("cannot generate churn against an empty graph")
+    ops: List[ChurnOp] = []
+    for _ in range(num_ops):
+        if rng.random() < insert_prob or len(shadow.pool) == 0:
+            if rng.random() < new_node_ratio:
+                u, v = shadow.fresh_attachment(rng)
+            else:
+                u, v = shadow.random_absent_pair(rng)
+            ops.append(shadow.insert(u, v))
+        else:
+            u, v = shadow.pool.sample(rng)
+            ops.append(shadow.delete(u, v))
+    return ops
+
+
+#: Registry keyed by the CLI's ``--churn`` choices.
+WORKLOADS: Dict[str, Callable[..., List[ChurnOp]]] = {
+    "insert": insert_only_growth,
+    "sliding": sliding_window,
+    "mixed": mixed_churn,
+}
+
+
+def generate_workload(
+    name: str,
+    graph: Graph,
+    num_ops: int,
+    seed: RandomState = None,
+    **kwargs,
+) -> List[ChurnOp]:
+    """Dispatch to a registered generator by name (see :data:`WORKLOADS`)."""
+    if name not in WORKLOADS:
+        raise ReductionError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[name](graph, num_ops, seed, **kwargs)

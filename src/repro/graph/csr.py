@@ -207,7 +207,7 @@ class CSRAdjacency:
         bounds = offsets.tolist()
         graph = Graph()
         graph._adj = {
-            node: set(tail_labels[start:end])
+            node: dict.fromkeys(tail_labels[start:end])
             for node, start, end in zip(labels, bounds, bounds[1:])
         }
         graph._order = dict(zip(labels, range(n)))

@@ -1,18 +1,24 @@
 """The core undirected simple-graph data structure.
 
 The paper's algorithms operate on undirected simple graphs (no self-loops,
-no parallel edges).  :class:`Graph` stores an adjacency-set per node, which
-gives O(1) expected-time edge insertion, deletion, and membership tests —
-exactly the operations CRR's rewiring loop and BM2's matching passes hammer.
+no parallel edges).  :class:`Graph` stores an adjacency *dict* per node
+(neighbour -> ``None``), which gives O(1) expected-time edge insertion,
+deletion, and membership tests — exactly the operations CRR's rewiring loop
+and BM2's matching passes hammer — while iterating neighbours in insertion
+order.  Adjacency **sets** would offer the same O(1) operations but iterate
+in hash order, which is ``PYTHONHASHSEED``-dependent for labels whose hash
+is randomized (tuples, strings): seeded experiments over such graphs would
+differ between processes.  Integer labels masked this (int hashes are
+fixed), but the dynamic churn workloads label fresh nodes with tuples.
 
 Nodes may be arbitrary hashable labels (SNAP-style integer ids, strings, ...).
-Insertion order is preserved, which makes every iteration order — and hence
-every seeded experiment — deterministic.
+Insertion order is preserved for nodes *and* neighbours, which makes every
+iteration order — and hence every seeded experiment — deterministic.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import EdgeNotFoundError, NodeNotFoundError, SelfLoopError
 
@@ -26,7 +32,7 @@ Edge = Tuple[Node, Node]
 
 
 class Graph:
-    """An undirected simple graph backed by adjacency sets.
+    """An undirected simple graph backed by insertion-ordered adjacency dicts.
 
     >>> g = Graph()
     >>> g.add_edge(1, 2)
@@ -39,11 +45,11 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_order", "_num_edges", "_next_order", "_csr_cache")
+    __slots__ = ("_adj", "_order", "_num_edges", "_next_order", "_csr_cache", "_version")
 
     def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()) -> None:
-        #: node -> set of neighbouring nodes
-        self._adj: Dict[Node, Set[Node]] = {}
+        #: node -> {neighbour: None}, insertion-ordered (see module docstring)
+        self._adj: Dict[Node, Dict[Node, None]] = {}
         #: node -> insertion index, used for canonical edge orientation.
         #: Indices come from a monotonic counter (never reused), so nodes
         #: added after removals cannot collide with surviving nodes.
@@ -52,6 +58,8 @@ class Graph:
         self._num_edges = 0
         #: memoised CSR snapshot; dropped on any mutation.
         self._csr_cache: Optional["CSRAdjacency"] = None
+        #: monotonic mutation counter (the dynamic-maintenance hook).
+        self._version = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -65,10 +73,11 @@ class Graph:
         """Add ``node``; return ``True`` if it was not already present."""
         if node in self._adj:
             return False
-        self._adj[node] = set()
+        self._adj[node] = {}
         self._order[node] = self._next_order
         self._next_order += 1
         self._csr_cache = None
+        self._version += 1
         return True
 
     def add_edge(self, u: Node, v: Node) -> bool:
@@ -83,29 +92,32 @@ class Graph:
         self.add_node(v)
         if v in self._adj[u]:
             return False
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        self._adj[u][v] = None
+        self._adj[v][u] = None
         self._num_edges += 1
         self._csr_cache = None
+        self._version += 1
         return True
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove edge ``(u, v)``; raise :class:`EdgeNotFoundError` if absent."""
         if not self.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        del self._adj[u][v]
+        del self._adj[v][u]
         self._num_edges -= 1
         self._csr_cache = None
+        self._version += 1
 
     def discard_edge(self, u: Node, v: Node) -> bool:
         """Remove edge ``(u, v)`` if present; return whether it was removed."""
         if not self.has_edge(u, v):
             return False
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        del self._adj[u][v]
+        del self._adj[v][u]
         self._num_edges -= 1
         self._csr_cache = None
+        self._version += 1
         return True
 
     def remove_node(self, node: Node) -> None:
@@ -113,11 +125,12 @@ class Graph:
         if node not in self._adj:
             raise NodeNotFoundError(node)
         for neighbor in self._adj[node]:
-            self._adj[neighbor].discard(node)
+            del self._adj[neighbor][node]
         self._num_edges -= len(self._adj[node])
         del self._adj[node]
         del self._order[node]
         self._csr_cache = None
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Inspection
@@ -132,6 +145,17 @@ class Graph:
     def num_edges(self) -> int:
         """Number of undirected edges, ``|E|``."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumps on every node/edge add or remove.
+
+        Incremental consumers (e.g. :class:`repro.dynamic.IncrementalShedder`)
+        record the version of the graph state they mirror and compare it on
+        the next operation, turning silent out-of-band mutations into loud
+        errors instead of corrupted Δ bookkeeping.
+        """
+        return self._version
 
     def has_node(self, node: Node) -> bool:
         return node in self._adj
@@ -223,12 +247,13 @@ class Graph:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Graph":
-        """Return a deep structural copy (labels are shared, sets are new)."""
+        """Return a deep structural copy (labels shared, adjacencies new)."""
         clone = Graph()
-        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._adj = {node: dict(neighbors) for node, neighbors in self._adj.items()}
         clone._order = dict(self._order)
         clone._next_order = self._next_order
         clone._num_edges = self._num_edges
+        clone._version = self._version
         # The snapshot is immutable and describes the same structure, so
         # the clone can share it until either side mutates.
         clone._csr_cache = self._csr_cache
@@ -256,7 +281,7 @@ class Graph:
         # re-run node creation and self-loop checks per edge.  Every
         # reduction result funnels through here, so this is a hot tail.
         self_adj = self._adj
-        adj: Dict[Node, Set[Node]] = {node: set() for node in self_adj}
+        adj: Dict[Node, Dict[Node, None]] = {node: {} for node in self_adj}
         count = 0
         for u, v in edges:
             neighbors = self_adj.get(u)
@@ -264,8 +289,8 @@ class Graph:
                 raise EdgeNotFoundError(u, v)
             targets = adj[u]
             if v not in targets:
-                targets.add(v)
-                adj[v].add(u)
+                targets[v] = None
+                adj[v][u] = None
                 count += 1
         sub._adj = adj
         sub._order = dict(self._order)

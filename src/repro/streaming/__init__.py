@@ -5,12 +5,22 @@ from repro.streaming.files import (
     iter_edge_list,
     shed_edge_list_file,
 )
-from repro.streaming.shedder import count_stream_degrees, reservoir_shed, shed_stream
+from repro.streaming.shedder import (
+    EdgeReservoir,
+    ReservoirSample,
+    count_stream_degrees,
+    reservoir_shed,
+    reservoir_slot,
+    shed_stream,
+)
 
 __all__ = [
     "count_stream_degrees",
     "shed_stream",
     "reservoir_shed",
+    "reservoir_slot",
+    "EdgeReservoir",
+    "ReservoirSample",
     "iter_edge_list",
     "shed_edge_list_file",
     "StreamSheddingStats",

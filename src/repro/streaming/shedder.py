@@ -18,7 +18,9 @@ A single-pass uniform :func:`reservoir_shed` is included as the baseline
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List
+
+import numpy as np
 
 from repro.core.base import validate_ratio
 from repro.core.discrepancy import round_half_up
@@ -26,7 +28,14 @@ from repro.errors import ReductionError
 from repro.graph.graph import Edge, Node
 from repro.rng import RandomState, ensure_rng
 
-__all__ = ["count_stream_degrees", "shed_stream", "reservoir_shed"]
+__all__ = [
+    "EdgeReservoir",
+    "ReservoirSample",
+    "count_stream_degrees",
+    "reservoir_shed",
+    "reservoir_slot",
+    "shed_stream",
+]
 
 EdgeStreamFactory = Callable[[], Iterable[Edge]]
 
@@ -74,17 +83,56 @@ def shed_stream(
             yield (u, v)
 
 
+def reservoir_slot(rng: np.random.Generator, seen: int, capacity: int) -> int:
+    """Algorithm R's replacement draw, shared by every reservoir consumer.
+
+    Given that ``seen`` items have been offered so far (including the
+    current one) to a full reservoir of size ``capacity``, return the slot
+    the current item should overwrite, or ``-1`` to reject it.  Draws
+    nothing from ``rng`` when ``capacity == 0`` — a zero-capacity reservoir
+    must not consume the random stream.
+    """
+    if capacity == 0:
+        return -1
+    slot = int(rng.integers(seen))
+    return slot if slot < capacity else -1
+
+
+class ReservoirSample(List[Edge]):
+    """A :func:`reservoir_shed` result: a plain edge list plus fill telemetry.
+
+    ``fill_ratio`` is ``len(sample) / target`` (``1.0`` for ``target == 0``);
+    anything below 1.0 means the stream was shorter than ``total_edges``
+    promised and the reservoir is under-filled — callers that sized the
+    reservoir from an upper bound should check it before trusting the
+    sample size.
+    """
+
+    def __init__(self, edges: Iterable[Edge], target: int) -> None:
+        super().__init__(edges)
+        #: the requested sample size ``[p·total_edges]``.
+        self.target = int(target)
+
+    @property
+    def fill_ratio(self) -> float:
+        """``len(self) / target``; 1.0 when the target is zero."""
+        if self.target == 0:
+            return 1.0
+        return len(self) / self.target
+
+
 def reservoir_shed(
     edges: Iterable[Edge],
     p: float,
     total_edges: int,
     seed: RandomState = None,
-) -> List[Edge]:
+) -> ReservoirSample:
     """Single-pass uniform sampling of ``[p·total_edges]`` edges.
 
     Classic reservoir sampling (Algorithm R): the baseline for the
     streaming comparison.  ``total_edges`` must be the stream length (or
-    an upper bound; a short stream simply fills less of the reservoir).
+    an upper bound; a short stream fills less of the reservoir — the
+    returned :class:`ReservoirSample` surfaces that via ``fill_ratio``).
     """
     p = validate_ratio(p)
     if total_edges < 0:
@@ -96,7 +144,120 @@ def reservoir_shed(
         if len(reservoir) < target:
             reservoir.append(edge)
         else:
-            slot = int(rng.integers(index + 1))
-            if slot < target:
+            slot = reservoir_slot(rng, index + 1, target)
+            if slot >= 0:
                 reservoir[slot] = edge
-    return reservoir
+    return ReservoirSample(reservoir, target)
+
+
+class EdgeReservoir:
+    """A bounded uniform pool of *unique* candidate edges.
+
+    The dynamic maintenance layer (:mod:`repro.dynamic`) holds the edges it
+    had to reject or demote in one of these so localized repair can promote
+    them back later without remembering the unbounded shed set.  Replacement
+    uses the same Algorithm-R draw as :func:`reservoir_shed`
+    (:func:`reservoir_slot`), so a long offer stream leaves an approximately
+    uniform sample of the offered edges.
+
+    Unlike the one-shot :func:`reservoir_shed`, membership is indexed:
+    :meth:`offer` refuses duplicates and :meth:`discard` removes a specific
+    edge in O(1) (swap-pop), which is what lets the maintainer keep the pool
+    consistent while edges are promoted into — or deleted from under — it.
+    """
+
+    def __init__(self, capacity: int, seed: RandomState = None) -> None:
+        if capacity < 0:
+            raise ReductionError(f"reservoir capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._rng = ensure_rng(seed)
+        self._items: List[Hashable] = []
+        self._position: Dict[Hashable, int] = {}
+        self._offers = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def fill_ratio(self) -> float:
+        """``len(self) / capacity``; 1.0 when the capacity is zero."""
+        if self._capacity == 0:
+            return 1.0
+        return len(self._items) / self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, edge: Hashable) -> bool:
+        return edge in self._position
+
+    def offer(self, edge: Hashable) -> bool:
+        """Offer ``edge`` to the pool; return whether it was stored.
+
+        Duplicates of a currently-held edge are refused without consuming
+        the random stream; once the pool is full, Algorithm R decides which
+        offers overwrite a uniformly random slot.
+        """
+        if edge in self._position:
+            return False
+        self._offers += 1
+        if len(self._items) < self._capacity:
+            self._position[edge] = len(self._items)
+            self._items.append(edge)
+            return True
+        slot = reservoir_slot(self._rng, self._offers, self._capacity)
+        if slot < 0:
+            return False
+        del self._position[self._items[slot]]
+        self._items[slot] = edge
+        self._position[edge] = slot
+        return True
+
+    def discard(self, edge: Hashable) -> bool:
+        """Remove ``edge`` if held (swap-pop); return whether it was held."""
+        index = self._position.pop(edge, None)
+        if index is None:
+            return False
+        last = self._items.pop()
+        if index < len(self._items):
+            self._items[index] = last
+            self._position[last] = index
+        return True
+
+    def sample(self, count: int) -> List[Hashable]:
+        """Up to ``count`` distinct held edges, drawn uniformly."""
+        held = len(self._items)
+        if count >= held:
+            return list(self._items)
+        picks = self._rng.choice(held, size=count, replace=False)
+        return [self._items[int(i)] for i in picks]
+
+    def probe(self, count: int) -> List[Hashable]:
+        """Up to ``count`` distinct held edges, drawn *with* replacement.
+
+        Collisions shrink the batch instead of being redrawn, which makes
+        this much cheaper than :meth:`sample` (no ``rng.choice`` machinery)
+        — the right trade for per-op candidate probing, where a short batch
+        just means slightly less work this round.
+        """
+        held = len(self._items)
+        if count >= held:
+            return list(self._items)
+        items = self._items
+        seen: set = set()
+        out: List[Hashable] = []
+        for i in self._rng.integers(held, size=count).tolist():
+            if i not in seen:
+                seen.add(i)
+                out.append(items[i])
+        return out
+
+    def items(self) -> List[Hashable]:
+        return list(self._items)
+
+    def clear(self) -> None:
+        """Drop every held edge (the offer counter restarts with the pool)."""
+        self._items.clear()
+        self._position.clear()
+        self._offers = 0

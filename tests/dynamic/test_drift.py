@@ -1,0 +1,110 @@
+"""Unit tests for :class:`repro.dynamic.DriftMonitor`."""
+
+import pytest
+
+from repro.core.bounds import bm2_average_delta_bound
+from repro.dynamic import DriftMonitor
+from repro.errors import InvalidRatioError
+
+
+class TestValidation:
+    def test_bad_p(self):
+        with pytest.raises(InvalidRatioError):
+            DriftMonitor(1.5)
+
+    @pytest.mark.parametrize("ratio", [0.0, -1.0])
+    def test_bad_drift_ratio(self, ratio):
+        with pytest.raises(ValueError):
+            DriftMonitor(0.5, drift_ratio=ratio)
+
+    @pytest.mark.parametrize("h", [0.0, 1.5, -0.1])
+    def test_bad_hysteresis(self, h):
+        with pytest.raises(ValueError):
+            DriftMonitor(0.5, hysteresis=h)
+
+    def test_bad_cooldown(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(0.5, cooldown_ops=-1)
+
+
+class TestEnvelope:
+    def test_matches_theorem2_bound(self):
+        monitor = DriftMonitor(0.5)
+        n, m = 100, 400
+        assert monitor.envelope(n, m) == bm2_average_delta_bound(0.5, m, n) * n
+
+    def test_closed_form(self):
+        # |V|/2 + (1-p)|E| = 50 + 0.5*400 = 250
+        assert DriftMonitor(0.5).envelope(100, 400) == pytest.approx(250.0)
+
+    def test_empty_graph(self):
+        assert DriftMonitor(0.5).envelope(0, 0) == 0.0
+
+
+class TestObserve:
+    def test_below_threshold_no_rebuild(self):
+        monitor = DriftMonitor(0.5, drift_ratio=1.0)
+        decision = monitor.observe(10.0, 100, 400)
+        assert not decision.rebuild
+        assert decision.armed
+        assert decision.drift == pytest.approx(10.0 / 250.0)
+
+    def test_breach_triggers_rebuild(self):
+        monitor = DriftMonitor(0.5, drift_ratio=1.0)
+        decision = monitor.observe(300.0, 100, 400)
+        assert decision.rebuild
+        assert decision.threshold == pytest.approx(250.0)
+
+    def test_drift_ratio_scales_threshold(self):
+        monitor = DriftMonitor(0.5, drift_ratio=2.0)
+        assert not monitor.observe(300.0, 100, 400).rebuild
+        assert monitor.observe(501.0, 100, 400).rebuild
+
+    def test_degenerate_envelope_drift_is_zero(self):
+        monitor = DriftMonitor(0.5)
+        assert monitor.observe(0.0, 0, 0).drift == 0.0
+
+
+class TestHysteresisAndCooldown:
+    def test_disarmed_within_cooldown_until_dip(self):
+        monitor = DriftMonitor(0.5, hysteresis=0.5, cooldown_ops=10)
+        assert monitor.observe(300.0, 100, 400).rebuild
+        monitor.notify_rebuild()
+        # Still breaching, within cooldown, no dip: stays disarmed.
+        decision = monitor.observe(300.0, 100, 400)
+        assert not decision.rebuild and not decision.armed
+        # Dip below hysteresis * threshold = 125 re-arms.
+        decision = monitor.observe(100.0, 100, 400)
+        assert decision.armed and not decision.rebuild
+
+    def test_rearmed_breach_still_respects_cooldown(self):
+        monitor = DriftMonitor(0.5, hysteresis=0.5, cooldown_ops=10)
+        monitor.observe(300.0, 100, 400)
+        monitor.notify_rebuild()
+        monitor.observe(100.0, 100, 400)  # re-armed via dip (op 1)
+        assert not monitor.observe(300.0, 100, 400).rebuild  # op 2 < 10
+        for _ in range(7):
+            monitor.observe(300.0, 100, 400)  # ops 3..9
+        assert monitor.observe(300.0, 100, 400).rebuild  # op 10
+
+    def test_cooldown_expiry_rearms_without_dip(self):
+        """A rebuild landing above the hysteresis line must not starve."""
+        monitor = DriftMonitor(0.5, hysteresis=0.5, cooldown_ops=3)
+        monitor.observe(300.0, 100, 400)
+        monitor.notify_rebuild()
+        assert not monitor.observe(300.0, 100, 400).rebuild  # op 1
+        assert not monitor.observe(300.0, 100, 400).rebuild  # op 2
+        assert monitor.observe(300.0, 100, 400).rebuild  # op 3: window over
+
+    def test_zero_cooldown_allows_back_to_back(self):
+        monitor = DriftMonitor(0.5, cooldown_ops=0)
+        assert monitor.observe(300.0, 100, 400).rebuild
+        monitor.notify_rebuild()
+        assert monitor.observe(300.0, 100, 400).rebuild
+
+    def test_rebuild_counter(self):
+        monitor = DriftMonitor(0.5)
+        assert monitor.rebuilds == 0
+        monitor.notify_rebuild()
+        monitor.notify_rebuild()
+        assert monitor.rebuilds == 2

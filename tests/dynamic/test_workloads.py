@@ -1,0 +1,123 @@
+"""Unit tests for the churn workload generators."""
+
+import pytest
+
+from repro.dynamic import (
+    WORKLOADS,
+    generate_workload,
+    insert_only_growth,
+    mixed_churn,
+    sliding_window,
+)
+from repro.errors import ReductionError
+from repro.graph import Graph, complete_graph
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def base() -> Graph:
+    return erdos_renyi(40, 0.1, seed=42)
+
+
+def _replay(graph: Graph, ops) -> Graph:
+    live = graph.copy()
+    for kind, u, v in ops:
+        if kind == "insert":
+            assert not live.has_edge(u, v), (u, v)
+            live.add_edge(u, v)
+        else:
+            live.remove_edge(u, v)
+    return live
+
+
+class TestInsertOnlyGrowth:
+    def test_all_inserts(self, base):
+        ops = insert_only_growth(base, 200, seed=1)
+        assert len(ops) == 200
+        assert all(kind == "insert" for kind, _, _ in ops)
+
+    def test_replays_cleanly(self, base):
+        live = _replay(base, insert_only_growth(base, 200, seed=1))
+        assert live.num_edges == base.num_edges + 200
+
+    def test_new_nodes_attached(self, base):
+        ops = insert_only_growth(base, 100, seed=1, new_node_ratio=1.0)
+        live = _replay(base, ops)
+        assert live.num_nodes == base.num_nodes + 100
+
+    def test_zero_new_node_ratio(self, base):
+        ops = insert_only_growth(base, 50, seed=1, new_node_ratio=0.0)
+        live = _replay(base, ops)
+        assert live.num_nodes == base.num_nodes
+
+    def test_bad_ratio(self, base):
+        with pytest.raises(ReductionError):
+            insert_only_growth(base, 10, seed=1, new_node_ratio=1.5)
+
+    def test_near_clique_falls_back_to_fresh_nodes(self):
+        ops = insert_only_growth(complete_graph(5), 20, seed=3, new_node_ratio=0.0)
+        assert len(ops) == 20  # fallback kept the generator from spinning
+
+
+class TestSlidingWindow:
+    def test_alternates_and_keeps_edge_count(self, base):
+        ops = sliding_window(base, 200, seed=2)
+        kinds = [kind for kind, _, _ in ops]
+        assert kinds[0::2] == ["insert"] * 100
+        assert kinds[1::2] == ["delete"] * 100
+        assert _replay(base, ops).num_edges == base.num_edges
+
+    def test_expires_oldest_first(self, base):
+        first_edge = next(iter(base.edges()))
+        ops = sliding_window(base, 2, seed=2)
+        assert ops[1] == ("delete", *first_edge)
+
+    def test_odd_ops_end_on_insert(self, base):
+        ops = sliding_window(base, 7, seed=2)
+        assert len(ops) == 7
+        assert ops[-1][0] == "insert"
+
+
+class TestMixedChurn:
+    def test_replays_cleanly(self, base):
+        _replay(base, mixed_churn(base, 500, seed=3))
+
+    def test_insert_prob_one_means_no_deletes(self, base):
+        ops = mixed_churn(base, 100, seed=3, insert_prob=1.0)
+        assert all(kind == "insert" for kind, _, _ in ops)
+
+    def test_deletes_fall_back_to_inserts_when_empty(self):
+        g = Graph(edges=[(0, 1)], nodes=range(3))
+        ops = mixed_churn(g, 30, seed=4, insert_prob=0.0, new_node_ratio=0.0)
+        live = _replay(g, ops)
+        assert live.num_edges >= 0  # never tried to delete from empty
+
+    def test_bad_probabilities(self, base):
+        with pytest.raises(ReductionError):
+            mixed_churn(base, 10, insert_prob=-0.1)
+        with pytest.raises(ReductionError):
+            mixed_churn(base, 10, new_node_ratio=2.0)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {"insert", "sliding", "mixed"}
+
+    def test_generate_workload_dispatch(self, base):
+        ops = generate_workload("mixed", base, 50, seed=5, insert_prob=1.0)
+        assert len(ops) == 50
+
+    def test_unknown_name(self, base):
+        with pytest.raises(ReductionError):
+            generate_workload("nope", base, 10)
+
+    def test_empty_graph_rejected(self):
+        for name in WORKLOADS:
+            with pytest.raises(ReductionError):
+                generate_workload(name, Graph(), 10, seed=0)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_for_seed(self, base, name):
+        assert generate_workload(name, base, 80, seed=9) == generate_workload(
+            name, base, 80, seed=9
+        )

@@ -173,3 +173,50 @@ class TestCommands:
         code = main(["bench", "--experiment", "ablation-rounding"])
         assert code == 0
         assert "Ablation" in capsys.readouterr().out
+
+
+class TestDynamicCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["dynamic"])
+        assert args.churn == "mixed"
+        assert args.ops == 5000
+        assert args.drift_ratio == 1.0
+        assert args.reservoir == 256
+
+    def test_unknown_churn_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--churn", "bogus"])
+
+    def test_dynamic_reports_latency_and_delta(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--dataset",
+                "ca-grqc",
+                "--scale",
+                "0.02",
+                "--churn",
+                "mixed",
+                "--ops",
+                "300",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-op latency" in out
+        assert "p99=" in out
+        assert "final delta: live=" in out
+        assert "rebuilds=" in out
+
+    def test_dynamic_from_input_file(self, tmp_path, capsys, figure1):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(figure1, str(path))
+        code = main(
+            ["dynamic", "--input", str(path), "--churn", "sliding", "--ops", "40"]
+        )
+        assert code == 0
+        assert "replayed 40 ops" in capsys.readouterr().out

@@ -64,6 +64,7 @@ class TestTopLevelExports:
         "repro.datasets",
         "repro.analysis",
         "repro.streaming",
+        "repro.dynamic",
         "repro.bench",
         "repro.bench.experiments",
     ],
