@@ -1,0 +1,178 @@
+"""Micro-benchmark: warm-vs-cold artifact cache throughput in the service.
+
+This is the PR's acceptance measurement: drain the same mixed request set
+(several methods × ratios × seeds over seeded Erdos-Renyi graphs) through
+a :class:`~repro.service.SheddingService` twice —
+
+* **cold** — an empty artifact store; every request runs its algorithm;
+* **warm** — a second pass on the same service; every request must be
+  served from the content-addressed cache without re-running anything
+  (asserted via the store's ``computes`` run counter, not just timing).
+
+Hard assertions: the warm pass performs **zero** computes, and the warm
+throughput clears a conservative ``SPEEDUP_FLOOR`` over the cold pass;
+missing the advisory ``SPEEDUP_TARGET`` warns instead of breaking a
+noisy runner (the ``test_micro_shedding`` convention).  A third pass in
+a *fresh* service pointed at the same persist directory checks the
+disk tier: warm restarts also make zero computes.  Numbers land in
+``BENCH_PR4.json`` and a BenchReport.
+
+The quick profile runs one graph size; ``REPRO_BENCH_FULL=1`` adds a
+larger one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchReport
+from repro.graph import erdos_renyi
+from repro.service import ReductionRequest, SheddingService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ACCEPT_SEED = 42
+#: Hard CI floor (noise-tolerant) vs advisory acceptance target for the
+#: warm-over-cold throughput ratio.
+SPEEDUP_FLOOR, SPEEDUP_TARGET = 3.0, 20.0
+
+#: (nodes, edges) profiles; the larger one only runs under REPRO_BENCH_FULL=1.
+QUICK_SIZES = [(400, 1600)]
+FULL_SIZES = [(400, 1600), (1500, 7500)]
+
+#: The mixed request set: (method, p, seed) per graph.  CRR dominates the
+#: cold pass, which is exactly what the cache should absorb.
+REQUEST_SPECS = [
+    ("crr", 0.5, 0),
+    ("crr", 0.3, 1),
+    ("bm2", 0.5, 0),
+    ("bm2", 0.2, 7),
+    ("uds", 0.5, 0),
+    ("random", 0.5, 3),
+    ("degree-proportional", 0.4, 2),
+]
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one profile's numbers into BENCH_PR4.json (order-independent)."""
+    path = REPO_ROOT / "BENCH_PR4.json"
+    data = (
+        json.loads(path.read_text(encoding="utf-8"))
+        if path.exists()
+        else {"experiment": "micro_service"}
+    )
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def _make_graph(nodes: int, edges: int):
+    density = 2 * edges / (nodes * (nodes - 1))
+    return erdos_renyi(nodes, density, seed=ACCEPT_SEED)
+
+
+def _drain(service, graph):
+    """Submit every spec and wait; returns (elapsed, results)."""
+    start = time.perf_counter()
+    handles = service.submit_all(
+        [
+            ReductionRequest(graph=graph, method=method, p=p, seed=seed)
+            for method, p, seed in REQUEST_SPECS
+        ]
+    )
+    results = [handle.result(timeout=600) for handle in handles]
+    return time.perf_counter() - start, results
+
+
+def _check_speedup(label: str, speedup: float) -> None:
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{label}: warm cache only {speedup:.2f}x faster than the cold pass "
+        f"(hard floor {SPEEDUP_FLOOR}x)"
+    )
+    if speedup < SPEEDUP_TARGET:
+        warnings.warn(
+            f"{label}: warm speedup {speedup:.2f}x is below the "
+            f"{SPEEDUP_TARGET}x acceptance target (advisory; likely a noisy "
+            "runner)",
+            stacklevel=2,
+        )
+
+
+@pytest.mark.slow
+def test_warm_cache_beats_cold_pass(quick, archive_report, tmp_path):
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rows = []
+    for nodes, edges in sizes:
+        graph = _make_graph(nodes, edges)
+        label = f"ER n={graph.num_nodes} m={graph.num_edges}"
+        cache_dir = tmp_path / f"cache-{nodes}"
+
+        with SheddingService(mode="inline", cache_dir=cache_dir) as service:
+            cold_seconds, cold_results = _drain(service, graph)
+            cold_computes = service.store.stats["computes"]
+            warm_seconds, warm_results = _drain(service, graph)
+            warm_computes = service.store.stats["computes"] - cold_computes
+
+        assert all(r.status.value == "completed" for r in cold_results)
+        assert all(r.status.value == "completed" for r in warm_results)
+        # Run-counter telemetry: the warm pass re-ran *nothing*.
+        assert warm_computes == 0, (
+            f"{label}: warm pass re-ran {warm_computes} reductions"
+        )
+        assert all(r.cache_hit == "memory" for r in warm_results)
+        for cold, warm in zip(cold_results, warm_results):
+            assert warm.reduction.delta == cold.reduction.delta
+
+        speedup = cold_seconds / warm_seconds
+        _check_speedup(label, speedup)
+
+        # Disk tier: a fresh service on the same directory must serve
+        # every request without computing either.
+        with SheddingService(mode="inline", cache_dir=cache_dir) as fresh:
+            restart_seconds, restart_results = _drain(fresh, graph)
+            restart_computes = fresh.store.stats["computes"]
+        assert restart_computes == 0, (
+            f"{label}: warm restart re-ran {restart_computes} reductions"
+        )
+        assert all(r.status.value == "completed" for r in restart_results)
+        for cold, loaded in zip(cold_results, restart_results):
+            assert loaded.reduction.delta == cold.reduction.delta
+
+        payload = {
+            "graph": {
+                "generator": "erdos_renyi",
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "seed": ACCEPT_SEED,
+            },
+            "requests": len(REQUEST_SPECS),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_restart_seconds": round(restart_seconds, 4),
+            "speedup": round(speedup, 2),
+            "cold_computes": cold_computes,
+            "warm_computes": warm_computes,
+            "warm_restart_computes": restart_computes,
+            "deltas_bit_identical": True,
+        }
+        _record(f"n{nodes}", payload)
+        rows.append([label, cold_seconds, warm_seconds, restart_seconds, speedup])
+
+    report = BenchReport(
+        experiment_id="micro_service",
+        title=f"Service artifact cache: warm vs cold over {len(REQUEST_SPECS)} "
+        "mixed requests",
+        headers=["graph", "cold s", "warm s", "restart s", "speedup"],
+        rows=rows,
+        notes=[
+            "Warm pass and warm restart both perform zero computes "
+            "(store run-counter asserted).",
+            f"Hard floor {SPEEDUP_FLOOR}x, advisory target {SPEEDUP_TARGET}x.",
+            f"Erdos-Renyi seed = {ACCEPT_SEED}; inline service mode.",
+        ],
+    )
+    archive_report(report)

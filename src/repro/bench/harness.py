@@ -7,7 +7,10 @@ benches; ``quick=False`` runs the full profile behind EXPERIMENTS.md.
 
 :class:`ReductionCache` deduplicates reductions within a process: several
 experiments reuse the same (dataset, method, p) reduction, and UDS runs
-are expensive enough that recomputing them per table would dominate.
+are expensive enough that recomputing them per table would dominate.  It
+is a thin adapter over the service-layer
+:class:`~repro.service.store.ArtifactStore` — the repo has exactly one
+cache implementation, and benches can opt into its disk persistence.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.datasets.registry import load_dataset
 from repro.errors import BenchError
 from repro.graph.graph import Graph
 from repro.bench.tables import render_table
+from repro.service.store import ArtifactStore
 
 __all__ = [
     "BenchReport",
@@ -92,12 +96,24 @@ def default_shedders(seed: int = 0, crr_sources: Optional[int] = None) -> Dict[s
 
 
 class ReductionCache:
-    """Memoises dataset builds and reduction runs within a process."""
+    """Memoises dataset builds and reduction runs within a process.
 
-    def __init__(self, seed: int = 0) -> None:
+    Reductions are keyed content-addressed in a shared
+    :class:`~repro.service.store.ArtifactStore` (pass ``store`` to share
+    one with a service, or ``persist_dir`` for warm restarts); graph
+    builds stay memoised here by (dataset, scale) since the store keys
+    off graph content, not provenance.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        store: Optional[ArtifactStore] = None,
+        persist_dir: Optional[str] = None,
+    ) -> None:
         self.seed = seed
+        self.store = store if store is not None else ArtifactStore(persist_dir=persist_dir)
         self._graphs: Dict[Tuple[str, Optional[float]], Graph] = {}
-        self._reductions: Dict[Tuple[str, Optional[float], str, float], ReductionResult] = {}
 
     def graph(self, dataset: str, scale: Optional[float]) -> Graph:
         key = (dataset, scale)
@@ -113,7 +129,15 @@ class ReductionCache:
         shedder: EdgeShedder,
         p: float,
     ) -> ReductionResult:
-        key = (dataset, scale, method, p)
-        if key not in self._reductions:
-            self._reductions[key] = shedder.reduce(self.graph(dataset, scale), p)
-        return self._reductions[key]
+        graph = self.graph(dataset, scale)
+        sources = getattr(shedder, "num_betweenness_sources", None)
+        result, _ = self.store.get_or_compute(
+            graph,
+            method=method,
+            p=p,
+            seed=self.seed,
+            compute=lambda: shedder.reduce(graph, p),
+            engine=getattr(shedder, "engine", "array"),
+            variant=f"sources={sources}" if sources is not None else "",
+        )
+        return result

@@ -8,28 +8,35 @@ Subcommands::
     repro-shed stats       --dataset ca-grqc [--input edgelist.txt]
     repro-shed dynamic     --dataset ca-grqc --churn mixed --ops 5000
     repro-shed bench       --experiment tab8 [--full]
+    repro-shed submit      --dataset ca-grqc --method crr --p 0.5 --deadline 30
+    repro-shed serve       --jobs jobs.json [--workers 2 --mode thread]
     repro-shed datasets
 
 ``reduce``/``evaluate``/``progressive``/``stats`` also accept
 ``--input edgelist.txt`` to operate on a user-supplied graph instead of a
-registry surrogate.
+registry surrogate.  ``reduce``, ``evaluate``, ``stats``, ``dynamic``,
+``submit`` and ``serve`` accept ``--json`` for machine-readable output.
+
+``submit`` runs one request through the budgeted
+:class:`~repro.service.SheddingService` (admission control, deadline
+degradation, artifact cache); ``serve`` drains a JSON file of requests
+through one service instance and reports per-job outcomes plus the
+service metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.baselines.uds import UDSSummarizer
 from repro.bench.experiments import ALL_EXPERIMENTS
-from repro.core.base import EdgeShedder
-from repro.core.bm2 import BM2Shedder
-from repro.core.crr import CRRShedder
-from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
+from repro.core.base import EdgeShedder, ReductionResult
 from repro.datasets.registry import DATASETS, load_dataset
+from repro.errors import ServiceError
 from repro.graph.graph import Graph
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import read_edge_list, read_edge_list_with_summary, write_edge_list
 from repro.tasks import all_tasks
 
 __all__ = ["main", "build_parser"]
@@ -48,24 +55,46 @@ _TASK_KEYS = {
 
 
 def _make_shedder(method: str, seed: int, sources: Optional[int]) -> EdgeShedder:
-    method = method.lower()
-    if method == "crr":
-        return CRRShedder(seed=seed, num_betweenness_sources=sources)
-    if method == "bm2":
-        return BM2Shedder(seed=seed)
-    if method == "uds":
-        return UDSSummarizer(seed=seed, num_betweenness_sources=sources)
-    if method == "random":
-        return RandomShedder(seed=seed)
-    if method == "degree-proportional":
-        return DegreeProportionalShedder(seed=seed)
-    raise SystemExit(f"unknown method {method!r} (crr, bm2, uds, random, degree-proportional)")
+    from repro.service.request import make_shedder
+
+    try:
+        return make_shedder(method, seed=seed, num_sources=sources)
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
     if args.input:
         return read_edge_list(args.input)
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _graph_ref(args: argparse.Namespace) -> str:
+    """The service ``graph_ref`` string equivalent to :func:`_load_graph`."""
+    if args.input:
+        return f"file:{args.input}"
+    if args.scale is not None:
+        return f"dataset:{args.dataset}:{args.scale:g}"
+    return f"dataset:{args.dataset}"
+
+
+def _reduction_dict(result: ReductionResult) -> Dict[str, Any]:
+    """JSON-friendly rendering of one reduction (shared by ``--json`` modes)."""
+    return {
+        "method": result.method,
+        "p": result.p,
+        "original_nodes": result.original.num_nodes,
+        "original_edges": result.original.num_edges,
+        "reduced_edges": result.reduced.num_edges,
+        "achieved_ratio": result.achieved_ratio,
+        "delta": result.delta,
+        "average_delta": result.average_delta,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,8 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="sampled betweenness sources for CRR/UDS (default: exact)",
         )
 
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+
     reduce_parser = sub.add_parser("reduce", help="shed edges and report the result")
     add_common(reduce_parser)
+    add_json(reduce_parser)
     reduce_parser.add_argument("--output", help="write the reduced edge list here")
     reduce_parser.add_argument(
         "--validate",
@@ -100,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate_parser = sub.add_parser("evaluate", help="reduce, then run evaluation tasks")
     add_common(evaluate_parser)
+    add_json(evaluate_parser)
     evaluate_parser.add_argument(
         "--tasks",
         default="degree,topk",
@@ -123,11 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_parser = sub.add_parser("stats", help="structural summary of a graph")
     add_common(stats_parser)
+    add_json(stats_parser)
 
     dynamic_parser = sub.add_parser(
         "dynamic", help="incremental maintenance under a churn workload"
     )
     add_common(dynamic_parser)
+    add_json(dynamic_parser)
     dynamic_parser.add_argument(
         "--churn",
         default="mixed",
@@ -154,6 +192,56 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--full", action="store_true", help="full (slow) profile")
     bench_parser.add_argument("--seed", type=int, default=0)
 
+    def add_service(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir", help="persist artifacts here (warm restarts hit the cache)"
+        )
+        p.add_argument("--workers", type=int, default=2, help="worker pool size")
+        p.add_argument(
+            "--mode",
+            default="inline",
+            choices=["inline", "thread", "process"],
+            help="execution mode (inline is deterministic and single-threaded)",
+        )
+        p.add_argument(
+            "--edge-budget",
+            type=int,
+            default=None,
+            help="global resident-edge budget (default: service default)",
+        )
+
+    submit_parser = sub.add_parser(
+        "submit", help="run one request through the budgeted shedding service"
+    )
+    add_common(submit_parser)
+    add_json(submit_parser)
+    add_service(submit_parser)
+    submit_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (degrades the method under pressure)",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, help="higher runs first"
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="drain a JSON file of requests through one service"
+    )
+    serve_parser.add_argument(
+        "--jobs", required=True, help="JSON file: list of request objects"
+    )
+    add_json(serve_parser)
+    add_service(serve_parser)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="overall wait for all jobs to finish",
+    )
+
     sub.add_parser("datasets", help="list the dataset registry")
     return parser
 
@@ -162,25 +250,36 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     shedder = _make_shedder(args.method, args.seed, args.sources)
     result = shedder.reduce(graph, args.p)
-    print(result.summary())
+    validation_ok = True
+    validation_text = None
     if args.validate:
         from repro.core.validation import validate_reduction
 
         report = validate_reduction(result)
-        print(report.describe())
-        if not report.ok:
-            return 1
+        validation_ok = report.ok
+        validation_text = report.describe()
     if args.output:
         write_edge_list(result.reduced, args.output, header=f"{result.method} p={result.p}")
-        print(f"wrote reduced edge list to {args.output}")
-    return 0
+    if args.json:
+        payload = _reduction_dict(result)
+        if validation_text is not None:
+            payload["validation_ok"] = validation_ok
+        if args.output:
+            payload["output"] = args.output
+        _emit_json(payload)
+    else:
+        print(result.summary())
+        if validation_text is not None:
+            print(validation_text)
+        if args.output:
+            print(f"wrote reduced edge list to {args.output}")
+    return 0 if validation_ok else 1
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     shedder = _make_shedder(args.method, args.seed, args.sources)
     result = shedder.reduce(graph, args.p)
-    print(result.summary())
 
     requested = [key.strip() for key in args.tasks.split(",") if key.strip()]
     unknown = [key for key in requested if key not in _TASK_KEYS]
@@ -196,8 +295,25 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         from repro.tasks.community import CommunityTask
 
         battery.append(CommunityTask(seed=args.seed))
-    for task in battery:
-        evaluation = task.evaluate(graph, result)
+    evaluations = [(task, task.evaluate(graph, result)) for task in battery]
+    if args.json:
+        _emit_json(
+            {
+                "reduction": _reduction_dict(result),
+                "tasks": [
+                    {
+                        "name": task.name,
+                        "utility": evaluation.utility,
+                        "original_seconds": evaluation.original.elapsed_seconds,
+                        "reduced_seconds": evaluation.reduced.elapsed_seconds,
+                    }
+                    for task, evaluation in evaluations
+                ],
+            }
+        )
+        return 0
+    print(result.summary())
+    for task, evaluation in evaluations:
         print(
             f"{task.name}: utility={evaluation.utility:.3f} "
             f"(original {evaluation.original.elapsed_seconds:.3f}s, "
@@ -246,10 +362,26 @@ def _cmd_progressive(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
     from repro.analysis.stats import graph_stats
 
-    graph = _load_graph(args)
-    print(graph_stats(graph, seed=args.seed).describe())
+    summary = None
+    if args.input:
+        graph, summary = read_edge_list_with_summary(args.input)
+    else:
+        graph = _load_graph(args)
+    stats = graph_stats(graph, seed=args.seed)
+    if args.json:
+        payload: Dict[str, Any] = asdict(stats)
+        if summary is not None:
+            payload["parse"] = asdict(summary)
+            payload["parse"]["skipped"] = summary.skipped
+        _emit_json(payload)
+        return 0
+    if summary is not None:
+        print(summary.describe())
+    print(stats.describe())
     return 0
 
 
@@ -269,14 +401,47 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         reservoir_size=args.reservoir,
         seed=args.seed,
     )
-    print(
-        f"seed reduction: {graph.num_nodes} nodes / {graph.num_edges} edges, "
-        f"delta={maintainer.delta:.1f}"
-    )
+    seed_delta = maintainer.delta
+    if not args.json:
+        print(
+            f"seed reduction: {graph.num_nodes} nodes / {graph.num_edges} edges, "
+            f"delta={seed_delta:.1f}"
+        )
     latencies = maintainer.replay(ops, collect_latencies=True)
     micros = np.asarray(latencies) * 1e6
     live_delta = maintainer.delta
     stats = maintainer.stats
+    offline = _make_shedder(args.method, args.seed, args.sources)
+    offline_result = offline.reduce(maintainer.graph, args.p)
+    envelope = maintainer.monitor.envelope(
+        maintainer.graph.num_nodes, maintainer.graph.num_edges
+    )
+    if args.json:
+        _emit_json(
+            {
+                "seed": {
+                    "nodes": graph.num_nodes,
+                    "edges": graph.num_edges,
+                    "delta": seed_delta,
+                },
+                "final": {
+                    "nodes": maintainer.graph.num_nodes,
+                    "edges": maintainer.graph.num_edges,
+                    "live_delta": live_delta,
+                    "offline_delta": offline_result.delta,
+                    "offline_method": offline_result.method,
+                    "envelope": envelope,
+                },
+                "churn": dict(stats),
+                "latency_us": {
+                    "p50": float(np.percentile(micros, 50)),
+                    "p90": float(np.percentile(micros, 90)),
+                    "p99": float(np.percentile(micros, 99)),
+                    "max": float(micros.max()),
+                },
+            }
+        )
+        return 0
     print(
         f"replayed {stats['ops']} ops ({stats['inserts']} inserts, "
         f"{stats['deletes']} deletes) -> {maintainer.graph.num_nodes} nodes / "
@@ -295,11 +460,6 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         f"demoted={stats['demoted']} swapped={stats['swapped']} "
         f"rebuilds={stats['rebuilds']}"
     )
-    offline = _make_shedder(args.method, args.seed, args.sources)
-    offline_result = offline.reduce(maintainer.graph, args.p)
-    envelope = maintainer.monitor.envelope(
-        maintainer.graph.num_nodes, maintainer.graph.num_edges
-    )
     print(
         f"final delta: live={live_delta:.1f} vs offline {offline_result.method}="
         f"{offline_result.delta:.1f} (Theorem-2 envelope {envelope:.1f})"
@@ -312,6 +472,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = runner(quick=not args.full, seed=args.seed)
     print(report.render())
     return 0
+
+
+def _make_service(args: argparse.Namespace):
+    from repro.service import SheddingService
+    from repro.service.service import DEFAULT_EDGE_BUDGET
+
+    return SheddingService(
+        max_resident_edges=args.edge_budget or DEFAULT_EDGE_BUDGET,
+        num_workers=args.workers,
+        mode=args.mode,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ReductionRequest
+
+    request = ReductionRequest(
+        p=args.p,
+        method=args.method,
+        graph_ref=_graph_ref(args),
+        seed=args.seed,
+        num_sources=args.sources,
+        priority=args.priority,
+        deadline_seconds=args.deadline,
+    )
+    with _make_service(args) as service:
+        handle = service.submit(request)
+        result = handle.result(timeout=600.0)
+        snapshot = service.metrics_snapshot()
+    if args.json:
+        payload = result.to_dict()
+        payload["metrics"] = snapshot
+        _emit_json(payload)
+    else:
+        print(result.summary())
+    return 0 if result.status.value == "completed" else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReductionRequest
+
+    try:
+        with open(args.jobs, "r", encoding="utf-8") as handle:
+            specs = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"could not read jobs file {args.jobs!r}: {error}")
+    if not isinstance(specs, list):
+        raise SystemExit(f"jobs file {args.jobs!r} must hold a JSON list")
+
+    requests = []
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, dict) or "p" not in spec:
+            raise SystemExit(f"job #{index} must be an object with at least a 'p' key")
+        if "graph_ref" in spec:
+            ref = spec["graph_ref"]
+        elif "input" in spec:
+            ref = f"file:{spec['input']}"
+        else:
+            dataset = spec.get("dataset", "ca-grqc")
+            scale = spec.get("scale")
+            ref = f"dataset:{dataset}:{scale:g}" if scale is not None else f"dataset:{dataset}"
+        requests.append(
+            ReductionRequest(
+                p=float(spec["p"]),
+                method=spec.get("method", "bm2"),
+                graph_ref=ref,
+                seed=int(spec.get("seed", args.seed)),
+                num_sources=spec.get("sources"),
+                priority=int(spec.get("priority", 0)),
+                deadline_seconds=spec.get("deadline_seconds"),
+                label=spec.get("label", f"job-{index}"),
+            )
+        )
+
+    with _make_service(args) as service:
+        handles = service.submit_all(requests)
+        results = [handle.result(timeout=args.timeout) for handle in handles]
+        snapshot = service.metrics_snapshot()
+
+    failed = sum(1 for result in results if result.status.value != "completed")
+    if args.json:
+        _emit_json(
+            {
+                "jobs": [result.to_dict() for result in results],
+                "metrics": snapshot,
+                "failed": failed,
+            }
+        )
+    else:
+        for result in results:
+            print(result.summary())
+        counters = snapshot["counters"]
+        print(
+            f"served {len(results)} jobs ({failed} not completed): "
+            f"executed={counters.get('jobs_executed', 0)} "
+            f"cache_hits={counters.get('cache_hits_memory', 0) + counters.get('cache_hits_disk', 0)} "
+            f"degraded={counters.get('admission_degraded', 0)} "
+            f"rejected={counters.get('rejected', 0)}"
+        )
+    return 0 if failed == 0 else 1
 
 
 def _cmd_datasets() -> int:
@@ -339,6 +600,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_dynamic(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "datasets":
         return _cmd_datasets()
     raise SystemExit(f"unknown command {args.command!r}")

@@ -11,18 +11,79 @@ scratch and results at different budgets are mutually consistent.
 the previous level with the *relative* ratio ``pᵢ / pᵢ₋₁``; each level's
 ``Δ`` is still scored against the **original** graph at the absolute
 ratio, so the results are directly comparable with one-shot reductions.
+
+Two pieces of this machinery are shared with the serving layer
+(:mod:`repro.service`): :func:`rescore_result` packages an
+already-computed reduced graph as a :class:`ReductionResult` scored
+against an arbitrary original (used both for the nested levels here and
+for re-labelling degraded service runs), and the degradation ladder
+(:data:`DEGRADATION_LADDER` / :func:`degrade_method`) encodes the
+quality-for-speed ordering CRR → BM2 → random that admission control
+walks under deadline pressure.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.base import EdgeShedder, ReductionResult
 from repro.core.discrepancy import compute_delta
 from repro.errors import ReductionError
 from repro.graph.graph import Graph
 
-__all__ = ["progressive_reduce"]
+__all__ = [
+    "DEGRADATION_LADDER",
+    "degrade_method",
+    "progressive_reduce",
+    "rescore_result",
+]
+
+#: Next-cheaper method for each shedding method key (lower-case), ordered
+#: by reduction cost: CRR's betweenness ranking dominates, BM2 is a few
+#: linear passes, random shedding is a single draw.  ``None`` marks the
+#: terminal rung — there is nothing cheaper to fall back to.
+DEGRADATION_LADDER: Dict[str, Optional[str]] = {
+    "crr": "bm2",
+    "uds": "bm2",
+    "bm2": "random",
+    "degree-proportional": "random",
+    "random": None,
+}
+
+
+def degrade_method(method: str) -> Optional[str]:
+    """The next-cheaper method below ``method``, or ``None`` at the bottom.
+
+    Unknown method keys fall straight to ``"random"`` — any exotic shedder
+    is assumed to cost more than a uniform draw.
+    """
+    return DEGRADATION_LADDER.get(method.lower(), "random")
+
+
+def rescore_result(
+    method: str,
+    original: Graph,
+    reduced: Graph,
+    p: float,
+    elapsed_seconds: float,
+    stats: Optional[Dict[str, Any]] = None,
+    delta: Optional[float] = None,
+) -> ReductionResult:
+    """Package ``reduced`` as a :class:`ReductionResult` against ``original``.
+
+    ``delta`` may be passed when the caller already holds the exact value
+    (avoiding a recompute); otherwise it is scored fresh with
+    :func:`compute_delta` at the absolute ratio ``p``.
+    """
+    return ReductionResult(
+        method=method,
+        original=original,
+        reduced=reduced,
+        p=p,
+        delta=compute_delta(original, reduced, p) if delta is None else delta,
+        elapsed_seconds=elapsed_seconds,
+        stats=dict(stats) if stats else {},
+    )
 
 
 def progressive_reduce(
@@ -50,12 +111,11 @@ def progressive_reduce(
         relative = p / previous_ratio
         step = shedder.reduce(current, relative)
         # Re-score against the original at the absolute ratio.
-        absolute = ReductionResult(
+        absolute = rescore_result(
             method=f"{shedder.name} (progressive)",
             original=graph,
             reduced=step.reduced,
             p=p,
-            delta=compute_delta(graph, step.reduced, p),
             elapsed_seconds=step.elapsed_seconds,
             stats={**step.stats, "relative_p": relative, "level": len(results)},
         )

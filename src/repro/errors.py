@@ -21,6 +21,8 @@ __all__ = [
     "EmbeddingError",
     "TaskError",
     "BenchError",
+    "ServiceError",
+    "AdmissionError",
 ]
 
 
@@ -83,3 +85,11 @@ class TaskError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark experiment was misconfigured."""
+
+
+class ServiceError(ReproError):
+    """The shedding service could not accept or execute a request."""
+
+
+class AdmissionError(ServiceError):
+    """A request was refused by the service's admission controller."""

@@ -64,7 +64,16 @@ from repro.graph.kernels import (
     distance_histogram,
 )
 from repro.graph.sampling import select_source_ids, select_sources
-from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graph.io import (
+    EdgeListSummary,
+    graph_from_payload,
+    graph_to_payload,
+    read_edge_list,
+    read_edge_list_with_summary,
+    read_json,
+    write_edge_list,
+    write_json,
+)
 from repro.graph.matching import (
     greedy_b_matching,
     greedy_b_matching_ids,
@@ -177,7 +186,11 @@ __all__ = [
     "complete_graph",
     "paper_figure1_graph",
     # io
+    "EdgeListSummary",
+    "graph_from_payload",
+    "graph_to_payload",
     "read_edge_list",
+    "read_edge_list_with_summary",
     "write_edge_list",
     "read_json",
     "write_json",

@@ -4,25 +4,75 @@ The paper's datasets ship as whitespace-separated edge lists with ``#``
 comment headers (the SNAP convention); we read and write that format so a
 user who *does* have the original files can drop them straight in.  JSON
 round-trips preserve isolated nodes, which edge lists cannot express.
+
+Real SNAP files contain a few self-loop lines and often list each edge in
+both directions; both are silently collapsed into the simple-graph model,
+but :func:`read_edge_list_with_summary` additionally *counts* what was
+skipped so callers (``repro-shed stats``) can surface it instead of
+dropping the information on the floor.
+
+:func:`graph_to_payload` / :func:`graph_from_payload` expose the JSON
+wire shape ``{"nodes": [...], "edges": [[u, v], ...]}`` directly, so the
+artifact store (:mod:`repro.service`) can embed a graph inside a larger
+document without double-encoding.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph
 
 __all__ = [
+    "EdgeListSummary",
+    "graph_from_payload",
+    "graph_to_payload",
     "read_edge_list",
-    "write_edge_list",
+    "read_edge_list_with_summary",
     "read_json",
+    "write_edge_list",
     "write_json",
 ]
 
 PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class EdgeListSummary:
+    """What :func:`read_edge_list_with_summary` saw while parsing.
+
+    Attributes:
+        lines_total: every line in the file, including comments/blanks.
+        comment_lines: ``#``/``%`` comment and blank lines.
+        edges_added: distinct undirected edges in the resulting graph.
+        self_loops_skipped: ``u u`` lines dropped (the model is simple).
+        duplicates_skipped: lines repeating an already-seen edge (SNAP
+            files frequently list both orientations).
+    """
+
+    lines_total: int
+    comment_lines: int
+    edges_added: int
+    self_loops_skipped: int
+    duplicates_skipped: int
+
+    @property
+    def skipped(self) -> int:
+        """Total data lines that did not produce a new edge."""
+        return self.self_loops_skipped + self.duplicates_skipped
+
+    def describe(self) -> str:
+        """One human-readable line, e.g. for ``repro-shed stats``."""
+        return (
+            f"parsed {self.lines_total} lines ({self.comment_lines} comments): "
+            f"{self.edges_added} edges kept, "
+            f"{self.self_loops_skipped} self-loops skipped, "
+            f"{self.duplicates_skipped} duplicate lines collapsed"
+        )
 
 
 def read_edge_list(path: PathLike) -> Graph:
@@ -32,22 +82,42 @@ def read_edge_list(path: PathLike) -> Graph:
     stays a string.  Files that list each edge in both directions (SNAP
     ships several such files) are handled transparently — duplicate edges
     collapse.  Self-loop lines are skipped; SNAP data contains a few and
-    the paper's model is a simple graph.
+    the paper's model is a simple graph.  Use
+    :func:`read_edge_list_with_summary` to also learn *how many* lines
+    were collapsed or skipped.
     """
+    graph, _ = read_edge_list_with_summary(path)
+    return graph
+
+
+def read_edge_list_with_summary(path: PathLike) -> Tuple[Graph, EdgeListSummary]:
+    """Like :func:`read_edge_list`, plus an :class:`EdgeListSummary`."""
     graph = Graph()
+    lines_total = comment_lines = self_loops = duplicates = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw_line in enumerate(handle, start=1):
+            lines_total += 1
             line = raw_line.strip()
             if not line or line.startswith(("#", "%")):
+                comment_lines += 1
                 continue
             parts = line.split()
             if len(parts) < 2:
                 raise GraphError(f"{path}:{line_number}: expected two node tokens, got {line!r}")
             u, v = _parse_node(parts[0]), _parse_node(parts[1])
             if u == v:
+                self_loops += 1
                 continue
-            graph.add_edge(u, v)
-    return graph
+            if not graph.add_edge(u, v):
+                duplicates += 1
+    summary = EdgeListSummary(
+        lines_total=lines_total,
+        comment_lines=comment_lines,
+        edges_added=graph.num_edges,
+        self_loops_skipped=self_loops,
+        duplicates_skipped=duplicates,
+    )
+    return graph, summary
 
 
 def _parse_node(token: str):
@@ -67,25 +137,40 @@ def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
             handle.write(f"{u}\t{v}\n")
 
 
-def write_json(graph: Graph, path: PathLike) -> None:
-    """Write ``{"nodes": [...], "edges": [[u, v], ...]}`` — keeps isolates."""
-    payload = {
+def graph_to_payload(graph: Graph) -> dict:
+    """The JSON wire shape ``{"nodes": [...], "edges": [[u, v], ...]}``.
+
+    Nodes appear in insertion order and edges in canonical iteration
+    order, so :func:`graph_from_payload` reconstructs a graph with the
+    *same* deterministic iteration order — loading an artifact yields
+    bit-identical downstream computations.
+    """
+    return {
         "nodes": list(graph.nodes()),
         "edges": [[u, v] for u, v in graph.edges()],
     }
+
+
+def graph_from_payload(payload: dict, where: str = "payload") -> Graph:
+    """Rebuild a graph from :func:`graph_to_payload` output."""
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise GraphError(f"{where}: not a repro graph payload")
+    graph = Graph(nodes=payload["nodes"])
+    for edge in payload["edges"]:
+        if len(edge) != 2:
+            raise GraphError(f"{where}: malformed edge entry {edge!r}")
+        graph.add_edge(edge[0], edge[1])
+    return graph
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write ``{"nodes": [...], "edges": [[u, v], ...]}`` — keeps isolates."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+        json.dump(graph_to_payload(graph), handle)
 
 
 def read_json(path: PathLike) -> Graph:
     """Read a graph written by :func:`write_json`."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
-        raise GraphError(f"{path}: not a repro graph JSON file")
-    graph = Graph(nodes=payload["nodes"])
-    for edge in payload["edges"]:
-        if len(edge) != 2:
-            raise GraphError(f"{path}: malformed edge entry {edge!r}")
-        graph.add_edge(edge[0], edge[1])
-    return graph
+    return graph_from_payload(payload, where=str(path))

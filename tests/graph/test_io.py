@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import Graph, read_edge_list, read_json, write_edge_list, write_json
+from repro.graph import (
+    Graph,
+    read_edge_list,
+    read_edge_list_with_summary,
+    read_json,
+    write_edge_list,
+    write_json,
+)
 
 
 class TestEdgeList:
@@ -55,6 +62,41 @@ class TestEdgeList:
         path.write_text("justonetoken\n")
         with pytest.raises(GraphError):
             read_edge_list(path)
+
+
+class TestParseSummary:
+    def test_counts_all_line_categories(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% note\n1 2\n2 1\n3 3\n2 3\n")
+        graph, summary = read_edge_list_with_summary(path)
+        assert graph.num_edges == 2
+        assert summary.lines_total == 7
+        assert summary.comment_lines == 3
+        assert summary.edges_added == 2
+        assert summary.self_loops_skipped == 1
+        assert summary.duplicates_skipped == 1
+        assert summary.skipped == 2
+
+    def test_clean_file_has_nothing_skipped(self, tmp_path, figure1):
+        path = tmp_path / "g.txt"
+        write_edge_list(figure1, path)
+        graph, summary = read_edge_list_with_summary(path)
+        assert graph == figure1
+        assert summary.skipped == 0
+        assert summary.edges_added == figure1.num_edges
+
+    def test_describe_mentions_counts(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 1\n1 2\n")
+        _, summary = read_edge_list_with_summary(path)
+        text = summary.describe()
+        assert "1 self-loops skipped" in text
+        assert "1 edges kept" in text
+
+    def test_read_edge_list_matches_summary_variant(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 1\n3 1\n")
+        assert read_edge_list(path) == read_edge_list_with_summary(path)[0]
 
 
 class TestJSON:

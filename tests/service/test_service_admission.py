@@ -1,0 +1,162 @@
+"""Admission control: cost model, budget ledger, degradation decisions."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.graph.graph import Graph
+from repro.service.admission import (
+    AdmissionController,
+    BudgetLedger,
+    CostModel,
+)
+from repro.service.request import ReductionRequest
+
+
+@pytest.fixture
+def graph():
+    g = Graph(nodes=range(20))
+    for node in range(1, 20):
+        g.add_edge(node, node // 2)
+    return g
+
+
+class TestCostModel:
+    def test_quadratic_vs_linear_work_units(self):
+        model = CostModel()
+        assert model.work_units("crr", 100, 500) == 100 * 500
+        assert model.work_units("random", 100, 500) == 500
+
+    def test_estimate_scales_with_size(self):
+        model = CostModel()
+        small = model.estimate("crr", 10, 20)
+        large = model.estimate("crr", 1000, 5000)
+        assert large > small
+
+    def test_observe_calibrates_coefficient(self):
+        model = CostModel(alpha=1.0)
+        model.observe("random", 10, 1000, seconds=1.0)
+        assert model.coefficient("random") == pytest.approx(1.0 / 1000)
+        assert model.estimate("random", 10, 1000) == pytest.approx(1.0, rel=0.01)
+
+    def test_unknown_method_uses_most_expensive_coefficient(self):
+        model = CostModel()
+        assert model.coefficient("mystery") == max(
+            CostModel.DEFAULT_COEFFICIENTS.values()
+        )
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ServiceError):
+            CostModel(alpha=0.0)
+
+
+class TestBudgetLedger:
+    def test_acquire_release_accounting(self):
+        ledger = BudgetLedger(100)
+        ledger.acquire(60)
+        assert ledger.in_use == 60
+        assert ledger.available == 40
+        ledger.release(60)
+        assert ledger.in_use == 0
+
+    def test_over_capacity_acquire_raises(self):
+        ledger = BudgetLedger(100)
+        with pytest.raises(AdmissionError):
+            ledger.acquire(101)
+
+    def test_charge_is_clamped_to_capacity(self):
+        ledger = BudgetLedger(100)
+        assert ledger.charge_for(1_000_000) == 100
+        assert ledger.charge_for(7) == 7
+
+    def test_blocking_acquire_waits_for_release(self):
+        ledger = BudgetLedger(100)
+        ledger.acquire(80)
+        acquired = threading.Event()
+
+        def blocked():
+            ledger.acquire(50, timeout=5.0)
+            acquired.set()
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        assert not acquired.wait(0.1)
+        ledger.release(80)
+        assert acquired.wait(5.0)
+        thread.join()
+        assert ledger.waits == 1
+
+    def test_acquire_timeout(self):
+        ledger = BudgetLedger(100)
+        ledger.acquire(100)
+        with pytest.raises(AdmissionError):
+            ledger.acquire(1, timeout=0.05)
+
+    def test_lease_context_manager(self):
+        ledger = BudgetLedger(100)
+        with ledger.lease(30):
+            assert ledger.in_use == 30
+        assert ledger.in_use == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            BudgetLedger(0)
+
+
+class TestAdmissionController:
+    def test_plain_request_admitted_unchanged(self, graph):
+        controller = AdmissionController(capacity_edges=10_000)
+        request = ReductionRequest(graph=graph, method="crr", p=0.5)
+        decision = controller.decide(request, graph)
+        assert decision.action == "admit"
+        assert decision.method == "crr"
+        assert not decision.oversize
+
+    def test_queue_backpressure_rejects(self, graph):
+        controller = AdmissionController(capacity_edges=10_000, max_queue_depth=4)
+        request = ReductionRequest(graph=graph, method="bm2", p=0.5)
+        decision = controller.decide(request, graph, queue_depth=4)
+        assert decision.action == "reject"
+        assert not decision.admitted
+
+    def test_oversize_input_degrades_to_cheapest(self, graph):
+        controller = AdmissionController(capacity_edges=graph.num_edges - 1)
+        request = ReductionRequest(graph=graph, method="crr", p=0.5)
+        decision = controller.decide(request, graph)
+        assert decision.admitted
+        assert decision.oversize
+        assert decision.method == "random"
+        assert any("global" in reason for reason in decision.reasons)
+
+    def test_per_request_cap_degrades(self, graph):
+        controller = AdmissionController(capacity_edges=10_000)
+        request = ReductionRequest(
+            graph=graph, method="crr", p=0.5, max_resident_edges=graph.num_edges - 1
+        )
+        decision = controller.decide(request, graph)
+        assert decision.degraded
+        assert decision.method == "random"
+
+    def test_tight_deadline_walks_the_ladder(self, graph):
+        controller = AdmissionController(capacity_edges=10_000)
+        request = ReductionRequest(
+            graph=graph, method="crr", p=0.5, deadline_seconds=1e-9
+        )
+        decision = controller.decide(request, graph)
+        assert decision.admitted
+        assert decision.method == "random"
+        assert any("deadline" in reason for reason in decision.reasons)
+
+    def test_loose_deadline_keeps_method(self, graph):
+        controller = AdmissionController(capacity_edges=10_000)
+        request = ReductionRequest(
+            graph=graph, method="crr", p=0.5, deadline_seconds=3600.0
+        )
+        decision = controller.decide(request, graph)
+        assert decision.action == "admit"
+        assert decision.method == "crr"
+
+    def test_bad_safety_factor_rejected(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(capacity_edges=100, safety_factor=0.5)

@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _json_out(capsys):
+    return json.loads(capsys.readouterr().out)
 
 
 class TestParser:
@@ -40,6 +46,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "BM2" in out
         assert "p=0.5" in out
+
+    def test_reduce_json(self, capsys):
+        code = main(
+            [
+                "reduce",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--p", "0.5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["method"] == "BM2"
+        assert payload["p"] == 0.5
+        assert payload["reduced_edges"] <= payload["original_edges"]
+        assert payload["delta"] >= 0
 
     def test_reduce_writes_output(self, tmp_path, capsys):
         output = tmp_path / "reduced.txt"
@@ -85,6 +109,25 @@ class TestCommands:
         assert "Vertex degree" in out
         assert "Top-k" in out
         assert "Link prediction" not in out
+
+    def test_evaluate_json(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--p", "0.5",
+                "--tasks", "degree",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["reduction"]["method"] == "BM2"
+        names = [task["name"] for task in payload["tasks"]]
+        assert names == ["Vertex degree"]
+        assert 0.0 <= payload["tasks"][0]["utility"] <= 1.0
 
     def test_evaluate_unknown_task(self):
         with pytest.raises(SystemExit):
@@ -142,7 +185,27 @@ class TestCommands:
         path = tmp_path / "in.txt"
         write_edge_list(figure1, path)
         assert main(["stats", "--input", str(path)]) == 0
-        assert "edges: 11" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "edges: 11" in out
+        # parsing summary is reported for user-supplied files
+        assert "parsed" in out
+        assert "self-loops skipped" in out
+
+    def test_stats_input_reports_skipped_lines(self, tmp_path, capsys):
+        path = tmp_path / "messy.txt"
+        path.write_text("# header\n1 2\n2 1\n3 3\n2 3\n")
+        assert main(["stats", "--input", str(path), "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["num_edges"] == 2
+        assert payload["parse"]["self_loops_skipped"] == 1
+        assert payload["parse"]["duplicates_skipped"] == 1
+        assert payload["parse"]["skipped"] == 2
+
+    def test_stats_json_dataset_has_no_parse_block(self, capsys):
+        assert main(["stats", "--dataset", "ca-grqc", "--scale", "0.02", "--json"]) == 0
+        payload = _json_out(capsys)
+        assert "parse" not in payload
+        assert payload["num_nodes"] > 0
 
     def test_progressive(self, capsys):
         code = main(
@@ -220,3 +283,105 @@ class TestDynamicCommand:
         )
         assert code == 0
         assert "replayed 40 ops" in capsys.readouterr().out
+
+    def test_dynamic_json(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--churn", "mixed",
+                "--ops", "200",
+                "--seed", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["churn"]["ops"] == 200
+        assert payload["final"]["live_delta"] >= 0
+        assert payload["final"]["envelope"] > 0
+        assert payload["latency_us"]["p50"] <= payload["latency_us"]["p99"]
+
+
+class TestServiceCommands:
+    def test_submit_json_reports_cache_tier(self, tmp_path, capsys):
+        argv = [
+            "submit",
+            "--dataset", "ca-grqc",
+            "--scale", "0.02",
+            "--method", "bm2",
+            "--p", "0.5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json",
+        ]
+        assert main(argv) == 0
+        cold = _json_out(capsys)
+        assert cold["status"] == "completed"
+        assert cold["cache_hit"] is None
+        assert cold["reduction"]["reduced_edges"] > 0
+        # second process: served from the persisted artifact
+        assert main(argv) == 0
+        warm = _json_out(capsys)
+        assert warm["cache_hit"] == "disk"
+        assert warm["metrics"]["store"]["computes"] == 0
+        assert warm["reduction"]["delta"] == cold["reduction"]["delta"]
+
+    def test_submit_deadline_degrades(self, capsys):
+        code = main(
+            [
+                "submit",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "crr",
+                "--p", "0.5",
+                "--deadline", "1e-9",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["status"] == "completed"
+        assert payload["degraded"] is True
+        assert payload["method_used"] == "random"
+        assert payload["degradation"]
+
+    def test_serve_drains_jobs_file(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            json.dumps(
+                [
+                    {"dataset": "ca-grqc", "scale": 0.02, "method": "bm2", "p": 0.5},
+                    {"dataset": "ca-grqc", "scale": 0.02, "method": "bm2", "p": 0.5},
+                    {"dataset": "ca-grqc", "scale": 0.02, "method": "random", "p": 0.4},
+                ]
+            )
+        )
+        code = main(["serve", "--jobs", str(jobs), "--json"])
+        assert code == 0
+        payload = _json_out(capsys)
+        assert [job["status"] for job in payload["jobs"]] == ["completed"] * 3
+        # inline mode: the duplicate request is a memory hit
+        assert payload["jobs"][1]["cache_hit"] == "memory"
+        assert payload["failed"] == 0
+        assert payload["metrics"]["counters"]["jobs_executed"] == 2
+
+    def test_serve_human_readable_summary(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            json.dumps([{"dataset": "ca-grqc", "scale": 0.02, "method": "random", "p": 0.5}])
+        )
+        assert main(["serve", "--jobs", str(jobs)]) == 0
+        out = capsys.readouterr().out
+        assert "served 1 jobs" in out
+        assert "[completed]" in out
+
+    def test_serve_missing_jobs_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", str(tmp_path / "nope.json")])
+
+    def test_serve_rejects_non_list(self, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text('{"p": 0.5}')
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", str(jobs)])

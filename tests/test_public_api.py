@@ -65,6 +65,7 @@ class TestTopLevelExports:
         "repro.analysis",
         "repro.streaming",
         "repro.dynamic",
+        "repro.service",
         "repro.bench",
         "repro.bench.experiments",
     ],
