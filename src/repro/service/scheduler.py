@@ -44,7 +44,13 @@ import numpy as np
 from repro.core.base import ReductionResult
 from repro.errors import ServiceError
 from repro.graph.graph import Graph
-from repro.service.request import JobHandle, JobStatus, ReductionRequest, make_shedder
+from repro.service.request import (
+    JobHandle,
+    JobStatus,
+    ReductionRequest,
+    ServiceResult,
+    make_shedder,
+)
 
 __all__ = ["JobTimeoutError", "ProcessEngine", "QueuedJob", "Scheduler"]
 
@@ -110,7 +116,7 @@ class Scheduler:
         """Queue ``job`` (or run it now in inline mode)."""
         if self.inline:
             job.handle._mark(JobStatus.RUNNING)
-            self._runner(job)
+            self._run_guarded(job)
             return
         with self._condition:
             if self._stopping:
@@ -153,14 +159,32 @@ class Scheduler:
             try:
                 if job.handle.cancel_requested:
                     job.metadata["cancelled_in_queue"] = True
-                    self._runner(job)
                 else:
                     job.handle._mark(JobStatus.RUNNING)
-                    self._runner(job)
+                self._run_guarded(job)
             finally:
                 with self._condition:
                     self._active -= 1
                     self._condition.notify_all()
+
+    def _run_guarded(self, job: QueuedJob) -> None:
+        """Run one job; a runner that raises must not kill the worker.
+
+        The runner normally resolves the handle itself (including on
+        failure); this is the backstop for bugs/errors that escape it —
+        the handle is failed so ``result()`` callers unblock, and the
+        worker thread survives to drain the rest of the queue.
+        """
+        try:
+            self._runner(job)
+        except Exception as error:
+            job.handle._complete(
+                ServiceResult(
+                    request=job.request,
+                    status=JobStatus.FAILED,
+                    error=f"internal error: {type(error).__name__}: {error}",
+                )
+            )
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until the queue is empty and no job is running."""
@@ -237,6 +261,11 @@ class ProcessEngine:
         #: Tasks whose result was abandoned after a timeout (the pool
         #: worker still finishes them; their output is discarded).
         self.abandoned_tasks = 0
+        # Create the pool eagerly, while the constructing thread is (in
+        # the service's lifecycle) still the only one running: forking a
+        # multi-threaded process can deadlock children that inherit held
+        # locks, so never fork lazily from a scheduler worker thread.
+        self._ensure_pool()
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         with self._lock:

@@ -138,10 +138,8 @@ class SheddingService:
             engine=request.engine,
             variant=_variant_of(request),
         )
-        was_in_memory = self.store.in_memory(key)
-        cached = self.store.get(key, graph)
+        cached, hit = self.store.get_with_tier(key, graph)
         if cached is not None:
-            hit = "memory" if was_in_memory else "disk"
             self.metrics.counter(f"cache_hits_{hit}").inc()
             handle._complete(
                 ServiceResult(
@@ -241,20 +239,20 @@ class SheddingService:
             )
             return
 
-        decision = job.metadata["decision"]
         key = job.metadata["store_key"]
         # Another job may have produced the same artifact while this one
-        # sat in the queue.
-        cached = self.store.get(key, job.graph)
+        # sat in the queue.  The artifact lives under the original
+        # (undegraded) request key, so the hit is the requested method.
+        cached, hit = self.store.get_with_tier(key, job.graph)
         if cached is not None:
-            self.metrics.counter("cache_hits_memory").inc()
+            self.metrics.counter(f"cache_hits_{hit}").inc()
             handle._complete(
                 ServiceResult(
                     request=request,
                     status=JobStatus.COMPLETED,
                     reduction=cached,
-                    method_used=decision.method,
-                    cache_hit="memory",
+                    method_used=request.method.lower(),
+                    cache_hit=hit,
                     queue_seconds=queue_seconds,
                     total_seconds=time.perf_counter() - job.enqueued_at,
                 )
@@ -270,7 +268,11 @@ class SheddingService:
             return
         try:
             self.store.count_compute()
-            result, metadata = self._execute(job, method, degradation)
+            # _execute may degrade further (process-pool timeout fallback);
+            # `method` is the method that actually produced `result`, and
+            # the cache key below must follow it or a random-shed result
+            # would be served as a future CRR/BM2 hit.
+            result, metadata, method = self._execute(job, method, degradation)
         except Exception as error:
             self.metrics.counter("failed").inc()
             self._fail(handle, request, queue_seconds, f"{type(error).__name__}: {error}")
@@ -279,27 +281,34 @@ class SheddingService:
             self.ledger.release(charge)
 
         execute_seconds = time.perf_counter() - started
-        self.cost_model.observe(
-            result.stats.get("service_method", method),
-            job.graph.num_nodes,
-            job.graph.num_edges,
-            execute_seconds,
-        )
-        if degradation:
-            self.metrics.counter("degraded_runs").inc()
-        self.metrics.counter("jobs_executed").inc()
-        self.metrics.histogram("queue_seconds").observe(queue_seconds)
-        self.metrics.histogram("execute_seconds").observe(execute_seconds)
         total = time.perf_counter() - job.enqueued_at
-        self.metrics.histogram("total_seconds").observe(total)
-        if (
-            request.deadline_seconds is not None
-            and total > request.deadline_seconds
-        ):
-            metadata["deadline_exceeded"] = True
-            self.metrics.counter("deadline_overruns").inc()
-
-        self.store.put(key if not degradation else self._degraded_key(job, method), result)
+        # The reduction succeeded; bookkeeping failures (a full disk in
+        # store.put, a broken metrics gauge) must not lose the result or
+        # kill the worker thread.
+        try:
+            self.cost_model.observe(
+                method,
+                job.graph.num_nodes,
+                job.graph.num_edges,
+                execute_seconds,
+            )
+            if degradation:
+                self.metrics.counter("degraded_runs").inc()
+            self.metrics.counter("jobs_executed").inc()
+            self.metrics.histogram("queue_seconds").observe(queue_seconds)
+            self.metrics.histogram("execute_seconds").observe(execute_seconds)
+            self.metrics.histogram("total_seconds").observe(total)
+            if (
+                request.deadline_seconds is not None
+                and total > request.deadline_seconds
+            ):
+                metadata["deadline_exceeded"] = True
+                self.metrics.counter("deadline_overruns").inc()
+            self.store.put(
+                key if not degradation else self._degraded_key(job, method), result
+            )
+        except Exception as error:
+            metadata["bookkeeping_error"] = f"{type(error).__name__}: {error}"
         handle._complete(
             ServiceResult(
                 request=request,
@@ -345,8 +354,14 @@ class SheddingService:
 
     def _execute(
         self, job: QueuedJob, method: str, degradation: List[str]
-    ) -> (ReductionResult, Dict[str, Any]):
-        """Run the reduction (process pool or in-thread) with fallback."""
+    ) -> (ReductionResult, Dict[str, Any], str):
+        """Run the reduction (process pool or in-thread) with fallback.
+
+        Returns ``(result, metadata, method)`` where ``method`` is the
+        method that actually ran — it differs from the argument when the
+        process-pool timeout fallback kicked in, and the caller must key
+        the artifact cache and report ``method_used`` from it.
+        """
         request, graph = job.request, job.graph
         metadata: Dict[str, Any] = {"mode": self.mode}
         decision = job.metadata["decision"]
@@ -406,7 +421,7 @@ class SheddingService:
                 stats=stats,
                 delta=result.delta,
             )
-        return result, metadata
+        return result, metadata, method
 
     def _degraded_key(self, job: QueuedJob, method: str):
         """Degraded runs are cached under the method that actually ran."""

@@ -144,6 +144,9 @@ class ArtifactStore:
         self._entries: "OrderedDict[ArtifactKey, _Entry]" = OrderedDict()
         self._resident_bytes = 0
         self._disk_index: Dict[ArtifactKey, Path] = {}
+        #: Keys currently being written by _persist; prevents two threads
+        #: racing put() from double-writing the same artifact file.
+        self._persisting: set = set()
         self.stats: Dict[str, int] = {
             "puts": 0,
             "memory_hits": 0,
@@ -192,12 +195,24 @@ class ArtifactStore:
         :class:`ReductionResult` when the artifact is loaded from disk
         (in-memory hits return the memoised object as-is).
         """
+        result, _ = self.get_with_tier(key, original)
+        return result
+
+    def get_with_tier(
+        self, key: ArtifactKey, original: Graph
+    ) -> Tuple[Optional[ReductionResult], Optional[str]]:
+        """Like :meth:`get`, but also report which tier served the hit.
+
+        Returns ``(result, tier)`` where ``tier`` is ``"memory"``,
+        ``"disk"``, or ``None`` on a miss — the authoritative answer, not
+        an inference from counter deltas (which races under concurrency).
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats["memory_hits"] += 1
-                return entry.result
+                return entry.result, "memory"
             path = self._disk_index.get(key)
         if path is not None:
             result = self._load(key, path, original)
@@ -205,16 +220,27 @@ class ArtifactStore:
                 with self._lock:
                     self.stats["disk_hits"] += 1
                     self._insert(key, result, nbytes=path.stat().st_size)
-                return result
+                return result, "disk"
         with self._lock:
             self.stats["misses"] += 1
-        return None
+        return None, None
 
     def put(self, key: ArtifactKey, result: ReductionResult) -> None:
         """Insert ``result`` under ``key``, persisting it when possible."""
         nbytes: Optional[int] = None
-        if self.persist_dir is not None and key not in self._disk_index:
-            nbytes = self._persist(key, result)
+        if self.persist_dir is not None:
+            with self._lock:
+                should_persist = (
+                    key not in self._disk_index and key not in self._persisting
+                )
+                if should_persist:
+                    self._persisting.add(key)
+            if should_persist:
+                try:
+                    nbytes = self._persist(key, result)
+                finally:
+                    with self._lock:
+                        self._persisting.discard(key)
         with self._lock:
             self.stats["puts"] += 1
             self._insert(key, result, nbytes=nbytes)
@@ -246,10 +272,8 @@ class ArtifactStore:
         actually ran (also counted in ``stats["computes"]``).
         """
         key = self.key_for(graph, method, p, seed, engine=engine, variant=variant)
-        before = dict(self.stats)
-        cached = self.get(key, graph)
+        cached, hit = self.get_with_tier(key, graph)
         if cached is not None:
-            hit = "memory" if self.stats["memory_hits"] > before["memory_hits"] else "disk"
             return cached, hit
         with self._lock:
             self.stats["computes"] += 1
@@ -384,11 +408,13 @@ class ArtifactStore:
         path = self.persist_dir / f"{key.token}.json"
         try:
             data = json.dumps(document, default=_json_fallback)
-        except (TypeError, ValueError):
+            path.write_text(data, encoding="utf-8")
+        except (TypeError, ValueError, OSError):
+            # Unserialisable stats or a failed write (disk full,
+            # permissions): the in-memory tier still serves this key.
             with self._lock:
                 self.stats["persist_skipped"] += 1
             return None
-        path.write_text(data, encoding="utf-8")
         with self._lock:
             self._disk_index[key] = path
         return len(data.encode("utf-8"))

@@ -190,6 +190,30 @@ class TestBudgetsAndDegradation:
             assert reduction.reduced.num_edges <= int(0.5 * graph.num_edges)
             assert reduction.delta >= 0
 
+    def test_timeout_fallback_does_not_poison_cache(self, graph):
+        from repro.service.scheduler import JobTimeoutError
+
+        with SheddingService(num_workers=1, mode="process") as service:
+
+            def always_timeout(*args, **kwargs):
+                raise JobTimeoutError("forced timeout")
+
+            service._engine.execute = always_timeout
+            result = service.submit(
+                ReductionRequest(graph=graph, method="crr", p=0.5, seed=0)
+            ).result(timeout=60)
+            assert result.status is JobStatus.COMPLETED
+            assert result.method_used == "random"
+            assert result.degraded
+            assert result.metadata.get("timed_out") is True
+            # the fallback artifact is cached under the method that ran,
+            # never under the requested CRR key — a future CRR request
+            # must not be served the random-shed result as a hit
+            crr_key = service.store.key_for(graph, "crr", 0.5, 0)
+            assert service.store.get(crr_key, graph) is None
+            random_key = service.store.key_for(graph, "random", 0.5, 0)
+            assert service.store.get(random_key, graph) is not None
+
     def test_queue_backpressure_rejects(self, graph):
         with SheddingService(max_queue_depth=0, mode="thread") as service:
             # depth limit 0: the first un-cached submission is rejected

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ServiceError
 from repro.graph.graph import Graph
-from repro.service.request import JobHandle, ReductionRequest, make_shedder
+from repro.service.request import JobHandle, JobStatus, ReductionRequest, make_shedder
 from repro.service.scheduler import (
     JobTimeoutError,
     ProcessEngine,
@@ -98,6 +98,28 @@ class TestThreadedScheduler:
         scheduler.shutdown()
         with pytest.raises(ServiceError):
             scheduler.submit(_job(graph, 0))
+
+    def test_raising_runner_fails_handle_and_worker_survives(self, graph):
+        calls = []
+
+        def runner(job):
+            calls.append(job.sequence)
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+
+        scheduler = Scheduler(runner=runner, num_workers=1)
+        first = _job(graph, scheduler.next_sequence())
+        second = _job(graph, scheduler.next_sequence())
+        scheduler.submit(first)
+        scheduler.submit(second)
+        assert scheduler.drain(timeout=10.0)
+        # the escaped exception resolved the handle instead of leaking
+        result = first.handle.result(timeout=5)
+        assert result.status is JobStatus.FAILED
+        assert "boom" in result.error
+        # and the worker stayed alive to run the next job
+        assert calls == [first.sequence, second.sequence]
+        scheduler.shutdown()
 
     def test_bad_worker_count(self):
         with pytest.raises(ServiceError):

@@ -104,6 +104,25 @@ class TestMemoryTier:
         assert len(store) == 0
 
 
+class TestGetWithTier:
+    def test_reports_each_tier_and_miss(self, graph, tmp_path):
+        store = ArtifactStore(persist_dir=tmp_path)
+        key = store.key_for(graph, "bm2", 0.5, 0)
+        missing, tier = store.get_with_tier(key, graph)
+        assert missing is None and tier is None
+        result = _reduce(graph)
+        store.put(key, result)
+        hit, tier = store.get_with_tier(key, graph)
+        assert hit is result and tier == "memory"
+
+        fresh = ArtifactStore(persist_dir=tmp_path)
+        hit, tier = fresh.get_with_tier(key, graph)
+        assert hit is not None and tier == "disk"
+        # the disk hit is promoted into memory
+        hit, tier = fresh.get_with_tier(key, graph)
+        assert tier == "memory"
+
+
 class TestDiskTier:
     def test_persist_and_warm_restart(self, graph, tmp_path):
         store = ArtifactStore(persist_dir=tmp_path)
@@ -150,6 +169,22 @@ class TestDiskTier:
         assert not list(tmp_path.glob("*.json"))
         # still served from memory
         assert store.get(key, g) is not None
+
+    def test_failed_write_skips_persist_not_raises(self, graph, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        store = ArtifactStore(persist_dir=tmp_path)
+        key = store.key_for(graph, "bm2", 0.5, 0)
+
+        def broken_write(self, *args, **kwargs):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(Path, "write_text", broken_write)
+        store.put(key, _reduce(graph))
+        assert store.stats["persist_skipped"] == 1
+        assert not list(tmp_path.glob("*.json"))
+        # still served from memory
+        assert store.get(key, graph) is not None
 
     def test_corrupt_file_counts_load_error(self, graph, tmp_path):
         store = ArtifactStore(persist_dir=tmp_path)
