@@ -141,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="degree,topk",
         help=f"comma-separated task keys: {','.join(_TASK_KEYS)}",
     )
+    evaluate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel walk workers for the link-prediction embedding "
+        "(bit-identical to serial)",
+    )
 
     estimate_parser = sub.add_parser(
         "estimate", help="reduce, then estimate original-graph statistics"
@@ -286,7 +293,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(f"unknown task keys: {', '.join(unknown)}")
     wanted_names = {_TASK_KEYS[key] for key in requested}
-    battery = [t for t in all_tasks(seed=args.seed, num_sources=args.sources) if t.name in wanted_names]
+    workers = getattr(args, "workers", None)
+    battery = [
+        t
+        for t in all_tasks(seed=args.seed, num_sources=args.sources, workers=workers)
+        if t.name in wanted_names
+    ]
     if "Connectivity" in wanted_names:
         from repro.tasks.connectivity import ConnectivityTask
 
@@ -296,21 +308,29 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
         battery.append(CommunityTask(seed=args.seed))
     evaluations = [(task, task.evaluate(graph, result)) for task in battery]
+    # Embedding-stage wall-clock (walks vs SGNS) per node2vec run, in call
+    # order (original graph first, then the reduction).
+    embedding_timings = [
+        timing
+        for task, _ in evaluations
+        for timing in getattr(task, "embedding_timings", [])
+    ]
     if args.json:
-        _emit_json(
-            {
-                "reduction": _reduction_dict(result),
-                "tasks": [
-                    {
-                        "name": task.name,
-                        "utility": evaluation.utility,
-                        "original_seconds": evaluation.original.elapsed_seconds,
-                        "reduced_seconds": evaluation.reduced.elapsed_seconds,
-                    }
-                    for task, evaluation in evaluations
-                ],
-            }
-        )
+        payload = {
+            "reduction": _reduction_dict(result),
+            "tasks": [
+                {
+                    "name": task.name,
+                    "utility": evaluation.utility,
+                    "original_seconds": evaluation.original.elapsed_seconds,
+                    "reduced_seconds": evaluation.reduced.elapsed_seconds,
+                }
+                for task, evaluation in evaluations
+            ],
+        }
+        if embedding_timings:
+            payload["embedding_timings"] = embedding_timings
+        _emit_json(payload)
         return 0
     print(result.summary())
     for task, evaluation in evaluations:
@@ -318,6 +338,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"{task.name}: utility={evaluation.utility:.3f} "
             f"(original {evaluation.original.elapsed_seconds:.3f}s, "
             f"reduced {evaluation.reduced.elapsed_seconds:.3f}s)"
+        )
+    for timing in embedding_timings:
+        print(
+            f"embedding (n={timing['nodes']:.0f}, m={timing['edges']:.0f}): "
+            f"walks {timing['walk_seconds']:.3f}s, "
+            f"sgns {timing['sgns_seconds']:.3f}s"
         )
     return 0
 

@@ -65,9 +65,17 @@ def kmeans(
     rng = ensure_rng(seed)
     centroids = _plusplus_init(points, n_clusters, rng)
     labels = np.zeros(n, dtype=np.int64)
+    point_norms = (points**2).sum(axis=1)
     for _ in range(max_iterations):
-        # Assign: squared Euclidean distances to every centroid.
-        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        # Assign: squared Euclidean distances via the expansion
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 — one (n, k) GEMM
+        # instead of materialising the (n, k, d) difference tensor.
+        distances = (
+            point_norms[:, None]
+            - 2.0 * (points @ centroids.T)
+            + (centroids**2).sum(axis=1)[None, :]
+        )
+        np.maximum(distances, 0.0, out=distances)
         labels = distances.argmin(axis=1)
         new_centroids = centroids.copy()
         for cluster in range(n_clusters):

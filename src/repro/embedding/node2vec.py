@@ -1,19 +1,28 @@
 """High-level Node2Vec model: walks -> skip-gram -> per-label embeddings.
 
-Wires :func:`repro.embedding.walks.generate_walks` and
-:func:`repro.embedding.skipgram.train_skipgram` behind one call, keeping
-the label <-> integer-id mapping consistent with the graph's CSR order.
+Wires the walk generator and SGNS trainer behind one call, keeping the
+label <-> integer-id mapping consistent with the graph's CSR order.
+
+``engine`` selects the whole pipeline: ``"batched"`` (default) feeds the
+dense walk matrix from :func:`repro.embedding.walks.generate_walk_matrix`
+straight into the mini-batched trainer (no list materialisation);
+``"legacy"`` runs the scalar walker + per-center trainer, kept as the
+end-to-end oracle.  ``workers > 1`` fans batched walk epochs out across
+processes with bit-identical output (see
+:func:`repro.graph.parallel.parallel_walk_matrix`).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import EmbeddingError
 from repro.embedding.skipgram import train_skipgram
-from repro.embedding.walks import generate_walks
+from repro.embedding.walks import _legacy_generate_walks, generate_walk_matrix
 from repro.graph.graph import Graph, Node
 from repro.rng import RandomState, ensure_rng
 
@@ -22,11 +31,17 @@ __all__ = ["Node2VecModel", "node2vec_embed"]
 
 @dataclass(frozen=True)
 class Node2VecModel:
-    """Trained embeddings plus the label mapping used to index them."""
+    """Trained embeddings plus the label mapping used to index them.
+
+    ``walk_seconds``/``sgns_seconds`` record the two pipeline stages'
+    wall-clock cost (surfaced by ``repro-shed evaluate --json``).
+    """
 
     embeddings: np.ndarray
     labels: List[Node]
     index_of: Dict[Node, int]
+    walk_seconds: float = 0.0
+    sgns_seconds: float = 0.0
 
     def vector(self, node: Node) -> np.ndarray:
         """Embedding vector for an original node label."""
@@ -44,22 +59,41 @@ def node2vec_embed(
     p: float = 1.0,
     q: float = 1.0,
     seed: RandomState = None,
+    engine: str = "batched",
+    workers: Optional[int] = None,
 ) -> Node2VecModel:
     """Train node2vec embeddings for every node in ``graph``.
 
     Defaults follow the paper's link-prediction setup (``p = q = 1``);
     the remaining hyperparameters are scaled for laptop-class runs.
     """
+    if engine not in ("batched", "legacy"):
+        raise EmbeddingError(
+            f"engine must be one of ('batched', 'legacy'), got {engine!r}"
+        )
     rng = ensure_rng(seed)
     csr = graph.csr()
-    walks = generate_walks(
-        graph,
-        num_walks=num_walks,
-        walk_length=walk_length,
-        p=p,
-        q=q,
-        seed=rng,
-    )
+    start = time.perf_counter()
+    if engine == "batched":
+        walks = generate_walk_matrix(
+            graph,
+            num_walks=num_walks,
+            walk_length=walk_length,
+            p=p,
+            q=q,
+            seed=rng,
+            workers=workers,
+        )
+        corpus_empty = walks.shape[0] == 0
+    else:
+        walks = _legacy_generate_walks(
+            graph, num_walks=num_walks, walk_length=walk_length, p=p, q=q, seed=rng
+        )
+        corpus_empty = not walks
+    walk_seconds = time.perf_counter() - start
+    if corpus_empty:
+        raise EmbeddingError("cannot train on an empty walk corpus")
+    start = time.perf_counter()
     embeddings = train_skipgram(
         walks,
         num_nodes=csr.num_nodes,
@@ -68,5 +102,13 @@ def node2vec_embed(
         negatives=negatives,
         epochs=epochs,
         seed=rng,
+        engine=engine,
     )
-    return Node2VecModel(embeddings=embeddings, labels=csr.labels, index_of=csr.index_of)
+    sgns_seconds = time.perf_counter() - start
+    return Node2VecModel(
+        embeddings=embeddings,
+        labels=csr.labels,
+        index_of=csr.index_of,
+        walk_seconds=walk_seconds,
+        sgns_seconds=sgns_seconds,
+    )

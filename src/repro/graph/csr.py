@@ -161,6 +161,21 @@ class CSRAdjacency:
         forward, _ = self.undirected_entries()
         return self.entry_heads()[forward], self.indices[forward]
 
+    def entry_keys(self) -> np.ndarray:
+        """``int64[2m]`` of ``head * n + tail`` per CSR entry (memoised).
+
+        Heads are non-decreasing across entries and tails are sorted within
+        each slice, so the array is globally sorted ascending — one
+        ``np.searchsorted`` answers a batch of (head, tail) adjacency
+        membership queries without touching per-row slices.  Used by the
+        batched node2vec walk engine (second-order membership tests against
+        the previous node's adjacency) and the clustering-coefficient
+        intersection kernel.
+        """
+        if "entry_keys" not in self._derived:
+            self._derived["entry_keys"] = self.entry_heads() * self.num_nodes + self.indices
+        return self._derived["entry_keys"]
+
     def edge_key_set(self) -> frozenset:
         """Every edge as an integer key ``min_id * n + max_id`` (memoised).
 

@@ -53,6 +53,7 @@ __all__ = [
     "bfs_level_sizes",
     "distance_histogram",
     "component_ids",
+    "walk_epoch_matrix",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -286,3 +287,86 @@ def component_ids(csr: CSRAdjacency) -> np.ndarray:
             frontier = np.unique(fresh)
         next_label += 1
     return component
+
+
+def walk_epoch_matrix(
+    csr: CSRAdjacency,
+    rng: np.random.Generator,
+    walk_length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    starts: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One epoch of batched node2vec walks: every walk advances one step
+    per numpy operation.
+
+    Starts one walk from each node in ``starts`` (default: every node of
+    degree >= 1, ascending id order) and returns the walk matrix
+    ``int64[len(starts), walk_length]`` of integer node ids.  Because the
+    graph is undirected and simple, any node reached from a degree->=1
+    start has a neighbour to continue to, so every row is full length —
+    there is no padding.
+
+    ``p == q == 1`` takes the uniform fast path: one ``random(W)`` draw
+    per step indexes directly into the CSR neighbour slices.  Otherwise
+    each step flattens the candidate neighbour slices of all current
+    nodes, weights them ``1/p`` (return), ``1`` (distance-1 triangle edge:
+    candidate adjacent to the previous node, tested by one global
+    ``searchsorted`` against :meth:`CSRAdjacency.entry_keys`), or ``1/q``
+    (outward), and inverse-samples the per-walk segment of the global
+    weight cumsum with one uniform draw per walk.
+
+    RNG contract: exactly one ``rng.random(W)`` draw per step past the
+    first (the first step is always uniform — there is no previous node),
+    for *both* paths, so a fixed generator state yields a bit-identical
+    matrix regardless of chunking.  The parallel fan-out
+    (:func:`repro.graph.parallel.parallel_walk_matrix`) relies on this:
+    it hands each epoch its own child generator, making concurrent output
+    equal serial output bit for bit.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    degrees = np.diff(indptr)
+    if starts is None:
+        starts = np.nonzero(degrees > 0)[0].astype(np.int64)
+    num_walks = int(starts.shape[0])
+    matrix = np.empty((num_walks, walk_length), dtype=np.int64)
+    if num_walks == 0:
+        return matrix
+    matrix[:, 0] = starts
+    if walk_length == 1:
+        return matrix
+    uniform = p == 1.0 and q == 1.0
+    n = csr.num_nodes
+    if not uniform:
+        entry_keys = csr.entry_keys()
+        inverse_p, inverse_q = 1.0 / p, 1.0 / q
+    current = matrix[:, 0]
+    for step in range(1, walk_length):
+        draws = rng.random(num_walks)
+        if uniform or step == 1:
+            slots = (draws * degrees[current]).astype(np.int64)
+            # draws < 1 keeps slots < degree mathematically; clip the
+            # one-ulp rounding case anyway.
+            np.minimum(slots, degrees[current] - 1, out=slots)
+            chosen = indices[indptr[current] + slots]
+        else:
+            previous = matrix[:, step - 2]
+            positions, candidates, rep = _expand(indptr, indices, current)
+            previous_rep = previous[rep]
+            weights = np.full(candidates.shape[0], inverse_q)
+            keys = previous_rep * n + candidates
+            found = np.searchsorted(entry_keys, keys)
+            np.minimum(found, entry_keys.shape[0] - 1, out=found)
+            weights[entry_keys[found] == keys] = 1.0
+            weights[candidates == previous_rep] = inverse_p
+            cdf = np.cumsum(weights)
+            counts = degrees[current]
+            segment_end = np.cumsum(counts)
+            base = np.concatenate(([0.0], cdf))[segment_end - counts]
+            targets = base + draws * (cdf[segment_end - 1] - base)
+            picks = np.searchsorted(cdf, targets, side="right")
+            np.minimum(picks, segment_end - 1, out=picks)
+            chosen = candidates[picks]
+        matrix[:, step] = chosen
+        current = chosen
+    return matrix

@@ -1,4 +1,4 @@
-"""Multiprocess betweenness centrality.
+"""Multiprocess graph kernels: betweenness centrality and walk fan-out.
 
 Brandes' accumulation is embarrassingly parallel over sources: each
 worker processes a slice of the source set and partial scores sum.  On a
@@ -13,6 +13,14 @@ count they imply) exactly once, each worker runs the array kernel
 slice, and the returned partial ``float64`` arrays are summed with
 ``np.add``.  Labels and canonical edge keys only appear in the parent,
 at the API boundary — the same mapping the serial wrappers use.
+
+:func:`parallel_walk_matrix` reuses the same worker shipping for the
+batched node2vec walk engine: epochs are independent given their child
+seeds (one per epoch, drawn by the caller before any stepping), so each
+worker runs :func:`repro.graph.kernels.walk_epoch_matrix` for a slice of
+epochs and the parent stacks the blocks in epoch order — concurrent
+output is bit-identical to serial output, the same determinism contract
+as the service's process mode.
 
 The pool uses an explicit start method: ``fork`` where the platform
 offers it (cheapest — the arrays are inherited copy-on-write), falling
@@ -36,11 +44,15 @@ from repro.graph.centrality import (
 )
 from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Edge, Graph, Node
-from repro.graph.kernels import brandes_accumulate
+from repro.graph.kernels import brandes_accumulate, walk_epoch_matrix
 from repro.graph.sampling import select_source_ids
-from repro.rng import RandomState
+from repro.rng import RandomState, ensure_rng
 
-__all__ = ["parallel_edge_betweenness", "parallel_node_betweenness"]
+__all__ = [
+    "parallel_edge_betweenness",
+    "parallel_node_betweenness",
+    "parallel_walk_matrix",
+]
 
 # Module-level worker state: set once per worker via the pool initializer
 # so the CSR arrays are shipped a single time rather than per task.
@@ -98,6 +110,66 @@ def _run_parallel(
     ) as pool:
         partials = pool.map(worker, _split(source_ids, num_workers))
     return reduce(np.add, partials)
+
+
+def _walk_epoch_chunk(args: Tuple[List[int], int, float, float]) -> np.ndarray:
+    """Run a slice of walk epochs in a worker; rows stack in epoch order."""
+    epoch_seeds, walk_length, p, q = args
+    csr = _worker_snapshot()
+    return np.vstack(
+        [
+            walk_epoch_matrix(csr, ensure_rng(int(seed)), walk_length, p=p, q=q)
+            for seed in epoch_seeds
+        ]
+    )
+
+
+def parallel_walk_matrix(
+    csr: CSRAdjacency,
+    epoch_seeds: np.ndarray,
+    walk_length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    num_workers: int = 2,
+) -> np.ndarray:
+    """Batched node2vec epochs across processes, bit-identical to serial.
+
+    ``epoch_seeds`` carries one integer child seed per epoch (see
+    :func:`repro.embedding.walks.generate_walk_matrix`, which draws them
+    from the caller's generator up front).  Each worker advances its
+    epochs with :func:`repro.graph.kernels.walk_epoch_matrix` over the
+    initializer-shipped CSR arrays; every epoch consumes only its own
+    seed's stream, so the stacked result does not depend on how epochs
+    are sliced across workers.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    seeds = [int(seed) for seed in np.asarray(epoch_seeds).ravel()]
+    if num_workers == 1 or len(seeds) <= 1:
+        return _run_epochs_serial(csr, seeds, walk_length, p, q)
+    chunks = _split(np.asarray(seeds, dtype=np.int64), num_workers)
+    context = _pool_context()
+    with context.Pool(
+        processes=min(num_workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(csr.indptr, csr.indices),
+    ) as pool:
+        blocks = pool.map(
+            _walk_epoch_chunk,
+            [(chunk.tolist(), walk_length, p, q) for chunk in chunks],
+        )
+    return np.vstack(blocks)
+
+
+def _run_epochs_serial(
+    csr: CSRAdjacency, seeds: List[int], walk_length: int, p: float, q: float
+) -> np.ndarray:
+    return np.vstack(
+        [
+            walk_epoch_matrix(csr, ensure_rng(seed), walk_length, p=p, q=q)
+            for seed in seeds
+        ]
+    )
 
 
 def parallel_edge_betweenness(

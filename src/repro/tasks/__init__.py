@@ -53,12 +53,16 @@ __all__ = [
 
 
 def all_tasks(
-    seed: RandomState = None, num_sources: Optional[int] = None
+    seed: RandomState = None,
+    num_sources: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[GraphTask]:
     """The full seven-task battery, in the paper's order.
 
     ``num_sources`` switches the BFS/betweenness-heavy tasks to sampled
-    estimators — recommended beyond a few thousand nodes.
+    estimators — recommended beyond a few thousand nodes.  ``workers``
+    parallelises the link-prediction task's walk generation (output is
+    bit-identical to serial).
     """
     return [
         DegreeDistributionTask(),
@@ -67,5 +71,5 @@ def all_tasks(
         ClusteringCoefficientTask(),
         HopPlotTask(num_sources=num_sources, seed=seed),
         TopKQueryTask(),
-        LinkPredictionTask(seed=seed),
+        LinkPredictionTask(seed=seed, workers=workers),
     ]

@@ -10,7 +10,7 @@ graph's predictions ``L_s`` against the original's ``L`` as
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.embedding.kmeans import kmeans
 from repro.embedding.node2vec import node2vec_embed
@@ -38,7 +38,10 @@ class LinkPredictionTask(GraphTask):
     """node2vec + k-means community link prediction on 2-hop pairs.
 
     Embedding hyperparameters default to laptop-scale settings; the
-    clustering count follows the paper (``n_clusters = 5``).
+    clustering count follows the paper (``n_clusters = 5``).  ``engine``
+    selects the embedding pipeline (``"batched"`` array engines by
+    default, ``"legacy"`` scalar oracle) and ``workers`` fans batched
+    walk epochs out across processes (bit-identical output).
 
     The paper's wording — predictions are made "on all 2-hop vertex pairs
     in G and G' respectively" — is ambiguous about which *pair universe*
@@ -65,6 +68,8 @@ class LinkPredictionTask(GraphTask):
         epochs: int = 1,
         pair_universe: str = "own",
         seed: RandomState = None,
+        engine: str = "batched",
+        workers: Optional[int] = None,
     ) -> None:
         if pair_universe not in ("own", "original"):
             raise ValueError(
@@ -76,7 +81,12 @@ class LinkPredictionTask(GraphTask):
         self.walk_length = walk_length
         self.epochs = epochs
         self.pair_universe = pair_universe
+        self.engine = engine
+        self.workers = workers
         self._seed = seed
+        #: one entry per embedding run, in call order (original first when
+        #: driven by :meth:`GraphTask.evaluate`): walk/SGNS wall-clock.
+        self.embedding_timings: List[Dict[str, float]] = []
 
     def _cluster_labels(self, graph: Graph) -> dict:
         """node -> community label from a node2vec + k-means pipeline."""
@@ -88,6 +98,16 @@ class LinkPredictionTask(GraphTask):
             walk_length=self.walk_length,
             epochs=self.epochs,
             seed=rng,
+            engine=self.engine,
+            workers=self.workers,
+        )
+        self.embedding_timings.append(
+            {
+                "nodes": float(graph.num_nodes),
+                "edges": float(graph.num_edges),
+                "walk_seconds": model.walk_seconds,
+                "sgns_seconds": model.sgns_seconds,
+            }
         )
         clusters = min(self.n_clusters, graph.num_nodes)
         result = kmeans(model.embeddings, n_clusters=clusters, seed=rng)

@@ -45,3 +45,39 @@ class TestNode2VecEmbed:
         g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
         model = node2vec_embed(g, dimensions=4, num_walks=2, walk_length=4, seed=0)
         assert model.vector("a").shape == (4,)
+
+
+class TestEnginesAndWorkers:
+    def test_legacy_engine_deterministic(self, cycle6):
+        a = node2vec_embed(
+            cycle6, dimensions=4, num_walks=2, walk_length=5, seed=3, engine="legacy"
+        )
+        b = node2vec_embed(
+            cycle6, dimensions=4, num_walks=2, walk_length=5, seed=3, engine="legacy"
+        )
+        np.testing.assert_array_equal(a.embeddings, b.embeddings)
+
+    def test_unknown_engine_rejected(self, cycle6):
+        import pytest
+
+        from repro.errors import EmbeddingError
+
+        with pytest.raises(EmbeddingError):
+            node2vec_embed(cycle6, engine="cuda")
+
+    def test_workers_bit_identical_to_serial(self):
+        """Parallel walk fan-out must not change the trained embeddings:
+        same walk matrix, same downstream RNG state."""
+        graph = stochastic_block_model([15, 15], [[0.4, 0.05], [0.05, 0.4]], seed=4)
+        serial = node2vec_embed(
+            graph, dimensions=8, num_walks=4, walk_length=10, seed=6
+        )
+        fanned = node2vec_embed(
+            graph, dimensions=8, num_walks=4, walk_length=10, seed=6, workers=2
+        )
+        np.testing.assert_array_equal(serial.embeddings, fanned.embeddings)
+
+    def test_stage_timings_recorded(self, cycle6):
+        model = node2vec_embed(cycle6, dimensions=4, num_walks=2, walk_length=5, seed=0)
+        assert model.walk_seconds > 0.0
+        assert model.sgns_seconds > 0.0

@@ -1,0 +1,115 @@
+"""Property tests: batched embedding/clustering engines vs scalar oracles.
+
+The batched walk engine and the CSR clustering-coefficient kernel must
+agree with their kept scalar implementations on arbitrary graphs:
+
+* every batched walk follows edges, starts at each non-isolated node,
+  and is exactly ``walk_length`` long (undirected graphs never dead-end
+  a walk that left a degree->=1 start);
+* the uniform fast path is bit-identical across runs for a fixed seed
+  and across serial/parallel fan-out (the determinism contract);
+* clustering coefficients from the intersection kernel equal the scalar
+  :func:`local_clustering` oracle to 1e-12 on every node.
+
+Distributional (transition-frequency) agreement between the walk engines
+lives in ``tests/embedding/test_walks_statistics.py`` — it needs larger
+samples than hypothesis examples should pay for.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.embedding import generate_walk_matrix, generate_walks
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    erdos_renyi,
+    powerlaw_cluster,
+    triangle_count,
+)
+from repro.graph.clustering import clustering_coefficients, local_clustering
+
+# Arbitrary (possibly disconnected, possibly empty) small graphs.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 24), st.integers(0, 24)).filter(lambda e: e[0] != e[1]),
+    max_size=80,
+)
+
+GENERATED = [
+    erdos_renyi(120, 0.05, seed=21),
+    erdos_renyi(100, 0.01, seed=22),  # sparse => disconnected
+    barabasi_albert(120, 2, seed=23),
+    powerlaw_cluster(100, 3, 0.4, seed=24),
+]
+
+
+class TestBatchedWalkProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists, p=st.sampled_from([1.0, 0.25, 4.0]), seed=st.integers(0, 99))
+    def test_walks_follow_edges_and_fill_rows(self, edges, p, seed):
+        graph = Graph(edges=edges)
+        csr = graph.csr()
+        matrix = generate_walk_matrix(
+            graph, num_walks=2, walk_length=6, p=p, q=1.0 / p, seed=seed
+        )
+        starts = [n for n in range(csr.num_nodes) if csr.neighbors(n).size > 0]
+        assert matrix.shape == (2 * len(starts), 6)
+        assert list(matrix[: len(starts), 0]) == starts
+        for row in matrix:
+            for a, b in zip(row, row[1:]):
+                assert graph.has_edge(csr.labels[a], csr.labels[b])
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=edge_lists, seed=st.integers(0, 99))
+    def test_uniform_fast_path_bit_identity(self, edges, seed):
+        graph = Graph(edges=edges)
+        first = generate_walk_matrix(graph, num_walks=3, walk_length=5, seed=seed)
+        second = generate_walk_matrix(graph, num_walks=3, walk_length=5, seed=seed)
+        np.testing.assert_array_equal(first, second)
+
+    @pytest.mark.parametrize("graph", GENERATED)
+    def test_workers_bit_identical_to_serial(self, graph):
+        serial = generate_walk_matrix(graph, num_walks=4, walk_length=8, seed=7)
+        fanned = generate_walk_matrix(
+            graph, num_walks=4, walk_length=8, seed=7, workers=2
+        )
+        np.testing.assert_array_equal(serial, fanned)
+
+    @pytest.mark.parametrize("graph", GENERATED)
+    def test_list_wrapper_matches_matrix(self, graph):
+        matrix = generate_walk_matrix(graph, num_walks=2, walk_length=6, seed=3)
+        lists = generate_walks(graph, num_walks=2, walk_length=6, seed=3)
+        assert matrix.tolist() == lists
+
+
+class TestClusteringKernelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(edges=edge_lists)
+    def test_kernel_matches_scalar_oracle(self, edges):
+        graph = Graph(edges=edges, nodes=[0])
+        kernel = clustering_coefficients(graph)
+        for node in graph.nodes():
+            assert kernel[node] == pytest.approx(
+                local_clustering(graph, node), abs=1e-12
+            )
+
+    @pytest.mark.parametrize("graph", GENERATED)
+    def test_kernel_matches_scalar_oracle_generated(self, graph):
+        kernel = clustering_coefficients(graph)
+        for node in graph.nodes():
+            assert kernel[node] == pytest.approx(
+                local_clustering(graph, node), abs=1e-12
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_lists)
+    def test_triangle_count_consistent_with_coefficients(self, edges):
+        graph = Graph(edges=edges, nodes=[0])
+        # Sum of per-node triangle counts == 3 * total triangles.
+        per_node = 0.0
+        for node in graph.nodes():
+            degree = graph.degree(node)
+            per_node += local_clustering(graph, node) * degree * (degree - 1) / 2.0
+        assert round(per_node) == 3 * triangle_count(graph)
