@@ -53,6 +53,7 @@ from repro.errors import (
     TaskError,
 )
 from repro.graph import Graph
+from repro.shard import ShardedShedder, ShardPlan, partition_graph
 from repro.tasks import (
     BetweennessCentralityTask,
     ClusteringCoefficientTask,
@@ -96,6 +97,10 @@ __all__ = [
     # baseline
     "UDSSummarizer",
     "GraphSummary",
+    # sharded shedding
+    "ShardedShedder",
+    "ShardPlan",
+    "partition_graph",
     # datasets
     "load_dataset",
     "available_datasets",

@@ -132,6 +132,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run structural/bound validation on the result",
     )
+    reduce_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition into this many shards and shed per shard "
+        "(crr/bm2 only; 1 is bit-identical to the whole-graph engine)",
+    )
+    reduce_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out for --shards (identical output at any count)",
+    )
 
     evaluate_parser = sub.add_parser("evaluate", help="reduce, then run evaluation tasks")
     add_common(evaluate_parser)
@@ -207,8 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--mode",
             default="inline",
-            choices=["inline", "thread", "process"],
-            help="execution mode (inline is deterministic and single-threaded)",
+            choices=["inline", "thread", "process", "sharded"],
+            help="execution mode (inline is deterministic and single-threaded; "
+            "sharded partitions crr/bm2 jobs across processes)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="shard count for --mode sharded (default: --workers)",
         )
         p.add_argument(
             "--edge-budget",
@@ -253,9 +273,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_sharded_shedder(args: argparse.Namespace) -> EdgeShedder:
+    from repro.shard import SHARD_METHODS, ShardedShedder
+
+    if args.method not in SHARD_METHODS:
+        raise SystemExit(
+            f"--shards supports methods {'/'.join(SHARD_METHODS)}, got {args.method!r}"
+        )
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be positive, got {args.shards}")
+    return ShardedShedder(
+        method=args.method,
+        num_shards=args.shards,
+        num_workers=max(args.workers or 1, 1),
+        seed=args.seed,
+        num_betweenness_sources=args.sources,
+    )
+
+
+def _shard_stats_dict(stats: Dict[str, Any]) -> Dict[str, Any]:
+    """The sharding slice of ``reduction.stats`` for ``--json`` output."""
+    return {
+        "num_shards": stats["num_shards"],
+        "num_workers": stats["num_workers"],
+        "partition": stats["partition"],
+        "boundary_edges": stats["boundary_edges"],
+        "boundary_admitted": stats["boundary_admitted"],
+        "boundary_filled": stats["boundary_filled"],
+        "demoted": stats["demoted"],
+        "delta_bound": stats["delta_bound"],
+        "partition_seconds": stats["partition_seconds"],
+        "shard_seconds": stats["shard_seconds"],
+        "reconcile_seconds": stats["reconcile_seconds"],
+        "per_shard": stats["per_shard"],
+    }
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    shedder = _make_shedder(args.method, args.seed, args.sources)
+    if args.shards is not None:
+        shedder = _make_sharded_shedder(args)
+    else:
+        shedder = _make_shedder(args.method, args.seed, args.sources)
     result = shedder.reduce(graph, args.p)
     validation_ok = True
     validation_text = None
@@ -267,8 +326,11 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         validation_text = report.describe()
     if args.output:
         write_edge_list(result.reduced, args.output, header=f"{result.method} p={result.p}")
+    sharded = args.shards is not None
     if args.json:
         payload = _reduction_dict(result)
+        if sharded:
+            payload["sharding"] = _shard_stats_dict(result.stats)
         if validation_text is not None:
             payload["validation_ok"] = validation_ok
         if args.output:
@@ -276,6 +338,21 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         _emit_json(payload)
     else:
         print(result.summary())
+        if sharded:
+            stats = result.stats
+            print(
+                f"sharding: {stats['num_shards']} shards "
+                f"({stats['partition']['method']}), {stats['num_workers']} workers, "
+                f"{stats['boundary_edges']} boundary edges "
+                f"(admitted={stats['boundary_admitted']} "
+                f"filled={stats['boundary_filled']} demoted={stats['demoted']})"
+            )
+            for shard in stats["per_shard"]:
+                print(
+                    f"  shard {shard['shard']}: {shard['nodes']} nodes, "
+                    f"{shard['interior_edges']} interior edges, "
+                    f"kept {shard['kept_edges']}, {shard['seconds']:.3f}s"
+                )
         if validation_text is not None:
             print(validation_text)
         if args.output:
@@ -509,6 +586,7 @@ def _make_service(args: argparse.Namespace):
         num_workers=args.workers,
         mode=args.mode,
         cache_dir=args.cache_dir,
+        num_shards=getattr(args, "shards", None),
     )
 
 

@@ -40,7 +40,7 @@ from repro.graph.graph import Edge, Graph, Node
 from repro.graph.matching import greedy_b_matching, greedy_b_matching_ids
 from repro.rng import RandomState, ensure_rng
 
-__all__ = ["BM2Shedder", "bipartite_repair"]
+__all__ = ["BM2Shedder", "bipartite_repair", "bm2_reduce_ids"]
 
 #: Tolerance for float noise in gain/discrepancy comparisons.  Expected
 #: degrees are products like ``0.4 * 2`` that are inexact in binary, so a
@@ -279,65 +279,95 @@ class BM2Shedder(EdgeShedder):
         candidate order and repair selections all coincide.
         """
         csr = graph.csr()
-        capacities = _ROUNDING_RULES_ARRAY[self.rounding](p * csr.degree_array())
-
         stats: Dict[str, Any] = {"capacity_rounding": self.rounding, "engine": self.engine}
-        with timed_phase(stats, "phase1_seconds"):
-            edge_u, edge_v = csr.edge_list_ids()
-            m = edge_u.shape[0]
-            if self.shuffle_edges:
-                perm = list(range(m))
-                ensure_rng(self._seed).shuffle(perm)
-                perm = np.asarray(perm, dtype=np.int64)
-                scan_u, scan_v = edge_u[perm], edge_v[perm]
-            else:
-                perm = None
-                scan_u, scan_v = edge_u, edge_v
-            scan_kept = greedy_b_matching_ids(scan_u, scan_v, capacities)
-            matched_u, matched_v = scan_u[scan_kept], scan_v[scan_kept]
-            # Kept-mask over the *unshuffled* scan, for the candidate pass.
-            if perm is None:
-                kept_mask = scan_kept
-            else:
-                kept_mask = np.zeros(m, dtype=bool)
-                kept_mask[perm[scan_kept]] = True
-
-        with timed_phase(stats, "phase2_seconds"):
-            tracker = ArrayDegreeTracker(graph, p)
-            tracker.add_edges_ids(matched_u, matched_v)
-
-            snapped = _snap_array(tracker.dis_array())
-            group_a = snapped <= -0.5
-            group_b = (snapped > -0.5) & (snapped < 0)
-
-            a_to_b = ~kept_mask & group_a[edge_u] & group_b[edge_v]
-            b_to_a = ~kept_mask & group_b[edge_u] & group_a[edge_v]
-            position = np.nonzero(a_to_b | b_to_a)[0]
-            forward = a_to_b[position]
-            cand_a = np.where(forward, edge_u[position], edge_v[position])
-            cand_b = np.where(forward, edge_v[position], edge_u[position])
-            candidates = list(zip(cand_a.tolist(), cand_b.tolist()))
-
-            repaired = bipartite_repair(
-                tracker.ids_view(), candidates, accept_zero_gain=self.accept_zero_gain
-            )
-
-        repair_count = len(repaired)
-        kept_u = np.concatenate(
-            (matched_u, np.fromiter((a for a, _ in repaired), np.int64, count=repair_count))
+        kept_u, kept_v = bm2_reduce_ids(
+            csr,
+            p,
+            stats,
+            rounding=self.rounding,
+            accept_zero_gain=self.accept_zero_gain,
+            shuffle_edges=self.shuffle_edges,
+            seed=self._seed,
         )
-        kept_v = np.concatenate(
-            (matched_v, np.fromiter((b for _, b in repaired), np.int64, count=repair_count))
+        return csr.subgraph_from_edge_ids(kept_u, kept_v), stats
+
+
+def bm2_reduce_ids(
+    csr: "CSRAdjacency",
+    p: float,
+    stats: Dict[str, Any],
+    rounding: str = "half_up",
+    accept_zero_gain: bool = False,
+    shuffle_edges: bool = False,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both BM2 phases over a CSR snapshot, returning kept edge ids.
+
+    The id-native core behind :meth:`BM2Shedder._reduce_array`; the
+    snapshot may equally be a per-shard :class:`repro.graph.csr.CSRView`,
+    in which case capacities round the shard's interior degrees and the
+    repair runs against shard-local discrepancies.  Kept edges come back
+    as ``(u_ids, v_ids)`` — matched edges in scan order followed by the
+    repair selections (repair pairs are oriented A-side first, which
+    :meth:`CSRAdjacency.subgraph_from_edge_ids` accepts as-is).
+    """
+    capacities = _ROUNDING_RULES_ARRAY[rounding](p * csr.degree_array())
+
+    with timed_phase(stats, "phase1_seconds"):
+        edge_u, edge_v = csr.edge_list_ids()
+        m = edge_u.shape[0]
+        if shuffle_edges:
+            perm = list(range(m))
+            ensure_rng(seed).shuffle(perm)
+            perm = np.asarray(perm, dtype=np.int64)
+            scan_u, scan_v = edge_u[perm], edge_v[perm]
+        else:
+            perm = None
+            scan_u, scan_v = edge_u, edge_v
+        scan_kept = greedy_b_matching_ids(scan_u, scan_v, capacities)
+        matched_u, matched_v = scan_u[scan_kept], scan_v[scan_kept]
+        # Kept-mask over the *unshuffled* scan, for the candidate pass.
+        if perm is None:
+            kept_mask = scan_kept
+        else:
+            kept_mask = np.zeros(m, dtype=bool)
+            kept_mask[perm[scan_kept]] = True
+
+    with timed_phase(stats, "phase2_seconds"):
+        tracker = ArrayDegreeTracker.from_csr(csr, p)
+        tracker.add_edges_ids(matched_u, matched_v)
+
+        snapped = _snap_array(tracker.dis_array())
+        group_a = snapped <= -0.5
+        group_b = (snapped > -0.5) & (snapped < 0)
+
+        a_to_b = ~kept_mask & group_a[edge_u] & group_b[edge_v]
+        b_to_a = ~kept_mask & group_b[edge_u] & group_a[edge_v]
+        position = np.nonzero(a_to_b | b_to_a)[0]
+        forward = a_to_b[position]
+        cand_a = np.where(forward, edge_u[position], edge_v[position])
+        cand_b = np.where(forward, edge_v[position], edge_u[position])
+        candidates = list(zip(cand_a.tolist(), cand_b.tolist()))
+
+        repaired = bipartite_repair(
+            tracker.ids_view(), candidates, accept_zero_gain=accept_zero_gain
         )
-        reduced = csr.subgraph_from_edge_ids(kept_u, kept_v)
-        stats.update(
-            {
-                "matched_edges": int(np.count_nonzero(scan_kept)),
-                "repair_edges": len(repaired),
-                "group_a_size": int(np.count_nonzero(group_a)),
-                "group_b_size": int(np.count_nonzero(group_b)),
-                "candidate_edges": len(candidates),
-                "tracker_delta": tracker.delta,
-            }
-        )
-        return reduced, stats
+
+    repair_count = len(repaired)
+    kept_u = np.concatenate(
+        (matched_u, np.fromiter((a for a, _ in repaired), np.int64, count=repair_count))
+    )
+    kept_v = np.concatenate(
+        (matched_v, np.fromiter((b for _, b in repaired), np.int64, count=repair_count))
+    )
+    stats.update(
+        {
+            "matched_edges": int(np.count_nonzero(scan_kept)),
+            "repair_edges": len(repaired),
+            "group_a_size": int(np.count_nonzero(group_a)),
+            "group_b_size": int(np.count_nonzero(group_b)),
+            "candidate_edges": len(candidates),
+            "tracker_delta": tracker.delta,
+        }
+    )
+    return kept_u, kept_v

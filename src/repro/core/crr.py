@@ -31,11 +31,11 @@ import numpy as np
 
 from repro.core.base import EdgeShedder, timed_phase
 from repro.core.discrepancy import ArrayDegreeTracker, DegreeTracker, round_half_up
-from repro.graph.centrality import top_edges_by_betweenness
+from repro.graph.centrality import top_edge_ids_by_betweenness, top_edges_by_betweenness
 from repro.graph.graph import Edge, Graph
 from repro.rng import RandomState, ensure_rng
 
-__all__ = ["CRRShedder", "IndexedEdgePool", "ImportanceFn"]
+__all__ = ["CRRShedder", "IndexedEdgePool", "ImportanceFn", "crr_reduce_ids"]
 
 #: Custom Phase-1 ranking signal: maps a graph to per-edge scores.
 ImportanceFn = Callable[[Graph], Mapping[Edge, float]]
@@ -244,32 +244,12 @@ class CRRShedder(EdgeShedder):
         hence the reduced graph — is identical to ``engine="legacy"``.
         """
         csr = graph.csr()
-        n = csr.num_nodes
         index_of = csr.index_of
-        tracker = ArrayDegreeTracker(graph, p)
 
         count = len(kept_edges)
         kept_u = np.fromiter((index_of[u] for u, _ in kept_edges), np.int64, count=count)
         kept_v = np.fromiter((index_of[v] for _, v in kept_edges), np.int64, count=count)
-        tracker.add_edges_ids(kept_u, kept_v)
-
-        # Shed pool = edge-scan order minus the kept set (same positions the
-        # legacy IndexedEdgePool assigns).  Canonical orientation puts the
-        # smaller id first on both sides, so the keys line up.
-        edge_u, edge_v = csr.edge_list_ids()
-        shed_mask = ~np.isin(edge_u * n + edge_v, kept_u * n + kept_v)
-        shed_u = edge_u[shed_mask]
-        shed_v = edge_v[shed_mask]
-
-        accepted = 0
-        attempted = 0
-        if count and shed_u.shape[0]:
-            attempted = steps
-            accepted = self._run_swaps(tracker, rng, kept_u, kept_v, shed_u, shed_v, steps)
-
-        stats["attempted_swaps"] = attempted
-        stats["accepted_swaps"] = accepted
-        stats["tracker_delta"] = tracker.delta
+        kept_u, kept_v = crr_rewire_ids(csr, p, kept_u, kept_v, steps, rng, stats)
         return csr.subgraph_from_edge_ids(kept_u, kept_v)
 
     @staticmethod
@@ -363,3 +343,103 @@ class CRRShedder(EdgeShedder):
         rng.shuffle(edges)
         edges.sort(key=lambda edge: scores[edge], reverse=True)
         return edges[:target]
+
+
+# ----------------------------------------------------------------------
+# Id-native CRR core — shared by the whole-graph array engine and the
+# per-shard runner (repro.shard), which feeds it CSR *views*.
+# ----------------------------------------------------------------------
+
+
+def crr_initial_ids(
+    csr: "CSRAdjacency",
+    target: int,
+    importance: str,
+    num_sources: Optional[int],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Phase 1 over a CSR snapshot: the [P]-edge initial selection in id space.
+
+    Consumes the RNG exactly as :meth:`CRRShedder._initial_edges` does for
+    the same ``importance`` setting (``rng.choice`` over the same edge
+    count / identical shuffle-and-sort inside the id-space top-k), so a
+    whole-graph call selects the same edges the label path selects.
+    """
+    target = min(target, csr.num_edges)
+    if importance == "random":
+        edge_u, edge_v = csr.edge_list_ids()
+        picks = rng.choice(edge_u.shape[0], size=target, replace=False)
+        return edge_u[picks], edge_v[picks]
+    return top_edge_ids_by_betweenness(
+        csr, target, num_sources=num_sources, seed=rng, tie_seed=rng
+    )
+
+
+def crr_rewire_ids(
+    csr: "CSRAdjacency",
+    p: float,
+    kept_u: np.ndarray,
+    kept_v: np.ndarray,
+    steps: int,
+    rng: np.random.Generator,
+    stats: Dict[str, Any],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Phase 2 over a CSR snapshot: the array rewiring loop in id space.
+
+    ``kept_u``/``kept_v`` are mutated in place (swap-pop pool layout) and
+    returned.  The tracker scores discrepancy against the snapshot's own
+    degrees, so feeding a :class:`repro.graph.csr.CSRView` rewires a shard
+    against its interior-degree expectations.
+    """
+    n = csr.num_nodes
+    tracker = ArrayDegreeTracker.from_csr(csr, p)
+    tracker.add_edges_ids(kept_u, kept_v)
+
+    # Shed pool = edge-scan order minus the kept set (same positions the
+    # legacy IndexedEdgePool assigns).  Canonical orientation puts the
+    # smaller id first on both sides, so the keys line up.
+    edge_u, edge_v = csr.edge_list_ids()
+    shed_mask = ~np.isin(edge_u * n + edge_v, kept_u * n + kept_v)
+    shed_u = edge_u[shed_mask]
+    shed_v = edge_v[shed_mask]
+
+    accepted = 0
+    attempted = 0
+    if kept_u.shape[0] and shed_u.shape[0]:
+        attempted = steps
+        accepted = CRRShedder._run_swaps(tracker, rng, kept_u, kept_v, shed_u, shed_v, steps)
+
+    stats["attempted_swaps"] = attempted
+    stats["accepted_swaps"] = accepted
+    stats["tracker_delta"] = tracker.delta
+    return kept_u, kept_v
+
+
+def crr_reduce_ids(
+    csr: "CSRAdjacency",
+    p: float,
+    rng: np.random.Generator,
+    stats: Dict[str, Any],
+    steps: Optional[int] = None,
+    steps_factor: float = 10.0,
+    importance: str = "betweenness",
+    num_sources: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Full CRR (rank + rewire) over a CSR snapshot, returning kept edge ids.
+
+    The id-space counterpart of :meth:`CRRShedder._reduce` for the array
+    engine: identical target/steps arithmetic, identical RNG consumption.
+    The per-shard runner calls this on each :class:`CSRView`; calling it on
+    a whole-graph snapshot reproduces ``CRRShedder(engine="array")``'s kept
+    edge arrays bit for bit.
+    """
+    target = round_half_up(p * csr.num_edges)
+    if steps is None:
+        steps = round_half_up(steps_factor * p * csr.num_edges)
+    stats["target_edges"] = target
+    stats["steps"] = steps
+    with timed_phase(stats, "ranking_seconds"):
+        kept_u, kept_v = crr_initial_ids(csr, target, importance, num_sources, rng)
+    with timed_phase(stats, "rewiring_seconds"):
+        kept_u, kept_v = crr_rewire_ids(csr, p, kept_u, kept_v, steps, rng, stats)
+    return kept_u, kept_v

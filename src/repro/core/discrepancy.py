@@ -297,8 +297,27 @@ class ArrayDegreeTracker:
         if not 0.0 < p < 1.0:
             raise InvalidRatioError(p)
         self._graph = graph
+        self._bind(graph.csr(), p)
+
+    @classmethod
+    def from_csr(cls, csr: "CSRAdjacency", p: float) -> "ArrayDegreeTracker":
+        """Build a tracker directly on a CSR snapshot (no :class:`Graph`).
+
+        The snapshot may be a whole-graph export or a per-shard
+        :class:`repro.graph.csr.CSRView` — expectations are ``p`` times the
+        snapshot's own degree array, so a view tracker scores discrepancy
+        against shard-interior degrees.  State and arithmetic are identical
+        to the graph-based constructor.
+        """
+        if not 0.0 < p < 1.0:
+            raise InvalidRatioError(p)
+        tracker = cls.__new__(cls)
+        tracker._graph = None
+        tracker._bind(csr, p)
+        return tracker
+
+    def _bind(self, csr: "CSRAdjacency", p: float) -> None:
         self._p = p
-        csr = graph.csr()
         self._csr = csr
         n = csr.num_nodes
         self._n = n
@@ -528,11 +547,12 @@ def compute_delta(original: Graph, reduced: Graph, p: float) -> float:
     """
     if not 0.0 < p < 1.0:
         raise InvalidRatioError(p)
-    if original._csr_cache is not None:
-        # Array path when a CSR snapshot already exists (every engine run
-        # leaves one behind): same per-node terms and the same left-to-right
-        # summation order as the scalar loop, so the result is bit-identical.
-        csr = original._csr_cache
+    csr = original.cached_csr()
+    if csr is not None:
+        # Array path when a current CSR snapshot already exists (every
+        # engine run leaves one behind): same per-node terms and the same
+        # left-to-right summation order as the scalar loop, so the result
+        # is bit-identical.
         reduced_adj = reduced._adj
         empty: set = set()
         reduced_degrees = np.fromiter(

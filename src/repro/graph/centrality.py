@@ -44,6 +44,7 @@ __all__ = [
     "node_betweenness",
     "edge_betweenness",
     "top_edges_by_betweenness",
+    "top_edge_ids_by_betweenness",
 ]
 
 
@@ -107,6 +108,48 @@ def edge_betweenness(
     return {edge: score_of[edge] for edge in graph.edges()}
 
 
+def top_edge_ids_by_betweenness(
+    csr: "CSRAdjacency",
+    count: int,
+    num_sources: Optional[int] = None,
+    seed: RandomState = None,
+    tie_seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Id-space top-``count`` edges by betweenness over any CSR snapshot.
+
+    The snapshot may be a whole-graph export or a per-shard
+    :class:`repro.graph.csr.CSRView` — the kernel only sees flat arrays.
+    Returns ``(u_ids, v_ids)`` in descending-score order with ties broken
+    by a seeded shuffle, reproducing :func:`top_edges_by_betweenness`'s
+    selection and ordering exactly (same RNG consumption: the tie shuffle
+    permutes a Python list of ``m`` scan positions just as the label
+    version permutes its list of ``m`` edge keys, and the stable sort
+    compares bitwise-identical float scores).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    n = csr.num_nodes
+    source_ids, scale = select_source_ids(n, num_sources, seed)
+    half = np.zeros(csr.indices.shape[0], dtype=np.float64)
+    brandes_accumulate(csr, source_ids, edge_scores=half)
+    forward, backward = csr.undirected_entries()
+    totals = half[forward] + half[backward]
+    totals *= scale / _edge_normalization(n, False)
+    # ``totals`` enumerates edges in lexicographic id order; re-key to the
+    # graph's scan order, which is the order the label implementation's
+    # score dict iterates in (and hence the pre-shuffle tie order).
+    edge_u, edge_v = csr.edge_list_ids()
+    lex_u, lex_v = csr.canonical_edge_ids()
+    positions = np.searchsorted(lex_u * n + lex_v, edge_u * n + edge_v)
+    score_list = totals[positions].tolist()
+    order = list(range(edge_u.shape[0]))
+    rng = ensure_rng(tie_seed)
+    rng.shuffle(order)
+    order.sort(key=score_list.__getitem__, reverse=True)
+    top = np.asarray(order[:count], dtype=np.int64)
+    return edge_u[top], edge_v[top]
+
+
 def top_edges_by_betweenness(
     graph: Graph,
     count: int,
@@ -119,14 +162,11 @@ def top_edges_by_betweenness(
     The paper specifies that "edges of the same importance are selected
     randomly"; a seeded shuffle before the stable sort realises exactly that.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    scores = edge_betweenness(graph, normalized=False, num_sources=num_sources, seed=seed)
-    edges = list(scores)
-    rng = ensure_rng(tie_seed)
-    rng.shuffle(edges)
-    edges.sort(key=lambda edge: scores[edge], reverse=True)
-    return edges[:count]
+    u_ids, v_ids = top_edge_ids_by_betweenness(
+        graph.csr(), count, num_sources=num_sources, seed=seed, tie_seed=tie_seed
+    )
+    labels = graph.csr().labels
+    return [(labels[u], labels[v]) for u, v in zip(u_ids.tolist(), v_ids.tolist())]
 
 
 # ----------------------------------------------------------------------

@@ -22,13 +22,14 @@ single build.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import GraphError
 from repro.graph.graph import Graph, Node
 
-__all__ = ["CSRAdjacency"]
+__all__ = ["CSRAdjacency", "CSRView"]
 
 
 @dataclass(frozen=True)
@@ -199,6 +200,61 @@ class CSRAdjacency:
             self._derived["labels_array"] = arr
         return self._derived["labels_array"]
 
+    def view_of(self, node_ids: np.ndarray) -> "CSRView":
+        """Interior-edge CSR view over a subset of this snapshot's node ids.
+
+        ``node_ids`` must be strictly increasing global ids.  The view is a
+        self-contained :class:`CSRAdjacency` over local ids ``0..k-1`` (the
+        rank of each global id) containing exactly the *interior* edges —
+        both endpoints inside ``node_ids``.  Because the global ids are
+        taken in ascending order, local ids preserve the parent's relative
+        id order, so canonical orientation (``u_id < v_id``) carries over
+        and the view's :meth:`edge_list_ids` runs in the parent's scan
+        order restricted to interior edges.  Passing every id yields arrays
+        bit-identical to the parent snapshot's — the invariant that makes a
+        1-shard sharded run reproduce the whole-graph array engine exactly.
+        """
+        global_ids = np.ascontiguousarray(np.asarray(node_ids, dtype=np.int64))
+        n = self.num_nodes
+        if global_ids.shape[0]:
+            if global_ids[0] < 0 or global_ids[-1] >= n:
+                raise GraphError("view node ids out of range")
+            if global_ids.shape[0] > 1 and not bool(np.all(np.diff(global_ids) > 0)):
+                raise GraphError("view node ids must be strictly increasing")
+        k = int(global_ids.shape[0])
+        local_of = np.full(n, -1, dtype=np.int64)
+        local_of[global_ids] = np.arange(k, dtype=np.int64)
+        edge_u, edge_v = self.edge_list_ids()
+        interior = (local_of[edge_u] >= 0) & (local_of[edge_v] >= 0)
+        u = np.ascontiguousarray(local_of[edge_u[interior]])
+        v = np.ascontiguousarray(local_of[edge_v[interior]])
+        parent_labels = self.labels
+        labels = [parent_labels[i] for i in global_ids.tolist()]
+        index_of = {node: i for i, node in enumerate(labels)}
+        if u.shape[0] == 0:
+            return CSRView(
+                indptr=np.zeros(k + 1, dtype=np.int64),
+                indices=np.empty(0, dtype=np.int64),
+                labels=labels,
+                index_of=index_of,
+                global_ids=global_ids,
+            )
+        # Same lexsort construction as from_graph, over the interior edges.
+        heads = np.concatenate([u, v])
+        tails = np.concatenate([v, u])
+        order = np.lexsort((tails, heads))
+        indices = np.ascontiguousarray(tails[order])
+        indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(np.bincount(heads, minlength=k), out=indptr[1:])
+        return CSRView(
+            indptr=indptr,
+            indices=indices,
+            labels=labels,
+            index_of=index_of,
+            _derived={"edge_list_ids": (u, v)},
+            global_ids=global_ids,
+        )
+
     def subgraph_from_edge_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> Graph:
         """Build the full-node-set subgraph keeping exactly the given edges.
 
@@ -229,3 +285,22 @@ class CSRAdjacency:
         graph._next_order = n
         graph._num_edges = int(edge_u.shape[0])
         return graph
+
+
+@dataclass(frozen=True)
+class CSRView(CSRAdjacency):
+    """A :class:`CSRAdjacency` over a node subset of a parent snapshot.
+
+    Behaves exactly like a whole-graph snapshot in local id space — every
+    array kernel (Brandes, greedy b-matching, the shedding engines, the
+    degree trackers) runs on it unchanged.  ``global_ids`` maps local ids
+    back to the parent's: ``global_ids[local_id]`` is the parent id, so
+    per-shard kept-edge arrays lift to global ids with one gather.
+    """
+
+    #: ``int64[k]`` — strictly increasing parent ids; position = local id.
+    global_ids: Optional[np.ndarray] = None
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map an array of local ids back to parent (global) ids."""
+        return self.global_ids[local_ids]

@@ -45,7 +45,15 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adj", "_order", "_num_edges", "_next_order", "_csr_cache", "_version")
+    __slots__ = (
+        "_adj",
+        "_order",
+        "_num_edges",
+        "_next_order",
+        "_csr_cache",
+        "_csr_version",
+        "_version",
+    )
 
     def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()) -> None:
         #: node -> {neighbour: None}, insertion-ordered (see module docstring)
@@ -58,6 +66,12 @@ class Graph:
         self._num_edges = 0
         #: memoised CSR snapshot; dropped on any mutation.
         self._csr_cache: Optional["CSRAdjacency"] = None
+        #: mutation counter at which the cached snapshot was built.  The
+        #: cache is only served when this matches ``_version``, so even a
+        #: mutating path that forgot to null the cache cannot leak a stale
+        #: snapshot into array consumers (shard reconciliation would be
+        #: silently corrupted by one).
+        self._csr_version = -1
         #: monotonic mutation counter (the dynamic-maintenance hook).
         self._version = 0
         for node in nodes:
@@ -236,11 +250,23 @@ class Graph:
         Any mutation (node/edge add or remove) drops the cache; the
         returned snapshot itself is immutable and stays valid.
         """
-        if self._csr_cache is None:
+        if self._csr_cache is None or self._csr_version != self._version:
             from repro.graph.csr import CSRAdjacency
 
             self._csr_cache = CSRAdjacency.from_graph(self)
+            self._csr_version = self._version
         return self._csr_cache
+
+    def cached_csr(self) -> Optional["CSRAdjacency"]:
+        """The memoised CSR snapshot if it is current, else ``None``.
+
+        Fast-path consumers (e.g. :func:`repro.core.discrepancy.compute_delta`)
+        use this to reuse an existing snapshot without forcing a build on
+        graphs that are only touched once.
+        """
+        if self._csr_cache is not None and self._csr_version == self._version:
+            return self._csr_cache
+        return None
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -257,6 +283,7 @@ class Graph:
         # The snapshot is immutable and describes the same structure, so
         # the clone can share it until either side mutates.
         clone._csr_cache = self._csr_cache
+        clone._csr_version = self._csr_version
         return clone
 
     def edge_subgraph(self, edges: Iterable[Edge], keep_all_nodes: bool = True) -> "Graph":

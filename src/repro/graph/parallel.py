@@ -74,6 +74,46 @@ def _worker_snapshot() -> CSRAdjacency:
     )
 
 
+# Shard-worker state: the parent snapshot's arrays, shipped once by the
+# sharded runner's pool initializer.  The scan-order edge list rides along
+# because workers rebuild views from it — falling back to the snapshot's
+# lexicographic edge enumeration would silently reorder shard edge scans
+# and break the serial/parallel bit-identity contract.
+_WORKER_SHARD_CSR: Optional[
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+] = None
+
+
+def _init_shard_worker(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+) -> None:
+    global _WORKER_SHARD_CSR
+    _WORKER_SHARD_CSR = (indptr, indices, edge_u, edge_v)
+
+
+def shard_worker_snapshot() -> CSRAdjacency:
+    """The parent CSR snapshot inside a shard worker (ids as labels).
+
+    The reconstructed snapshot's :meth:`CSRAdjacency.edge_list_ids` is the
+    parent's scan order, so ``snapshot.view_of(node_ids)`` builds the very
+    same view arrays the parent holds — the property the workers=N
+    bit-identity test pins.
+    """
+    assert _WORKER_SHARD_CSR is not None, "worker initialised without shard arrays"
+    indptr, indices, edge_u, edge_v = _WORKER_SHARD_CSR
+    n = indptr.shape[0] - 1
+    return CSRAdjacency(
+        indptr=indptr,
+        indices=indices,
+        labels=list(range(n)),
+        index_of={},
+        _derived={"edge_list_ids": (edge_u, edge_v)},
+    )
+
+
 def _edge_chunk(source_ids: np.ndarray) -> np.ndarray:
     csr = _worker_snapshot()
     partial = np.zeros(csr.indices.shape[0], dtype=np.float64)

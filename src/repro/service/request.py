@@ -50,7 +50,7 @@ def make_shedder(
 ) -> EdgeShedder:
     """Build the shedder for a method key.
 
-    ``engine`` selects the array/legacy implementation for CRR and BM2;
+    ``engine`` selects the array/legacy implementation for CRR, BM2 and UDS;
     ``num_sources`` switches CRR/UDS to sampled betweenness.  Raises
     :class:`ServiceError` for unknown keys.
     """
@@ -60,7 +60,9 @@ def make_shedder(
     if method == "bm2":
         return BM2Shedder(seed=seed, engine=engine)
     if method == "uds":
-        return UDSSummarizer(seed=seed, num_betweenness_sources=num_sources)
+        return UDSSummarizer(
+            seed=seed, engine=engine, num_betweenness_sources=num_sources
+        )
     if method == "random":
         return RandomShedder(seed=seed)
     if method == "degree-proportional":

@@ -54,7 +54,10 @@ from repro.service.request import (
 
 __all__ = ["JobTimeoutError", "ProcessEngine", "QueuedJob", "Scheduler"]
 
-SCHEDULER_MODES = ("inline", "thread", "process")
+#: ``sharded`` schedules like ``thread`` but executes CRR/BM2 jobs through
+#: :class:`repro.shard.ShardedShedder` (partition → per-shard kernels →
+#: reconciliation), fanning each job out across processes.
+SCHEDULER_MODES = ("inline", "thread", "process", "sharded")
 
 
 class JobTimeoutError(ServiceError):

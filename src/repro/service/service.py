@@ -80,10 +80,15 @@ class SheddingService:
         cost_model: Optional[CostModel] = None,
         safety_factor: float = 1.5,
         graph_loader: Optional[Callable[[str, int], Graph]] = None,
+        num_shards: Optional[int] = None,
     ) -> None:
         if mode not in SCHEDULER_MODES:
             raise ServiceError(f"mode must be one of {SCHEDULER_MODES}, got {mode!r}")
         self.mode = mode
+        #: shard count for ``mode="sharded"`` (defaults to the worker count).
+        self.num_shards = num_shards if num_shards is not None else max(num_workers, 1)
+        if self.num_shards < 1:
+            raise ServiceError(f"num_shards must be >= 1, got {self.num_shards}")
         self.store = store if store is not None else ArtifactStore(
             byte_budget=cache_bytes, persist_dir=cache_dir
         )
@@ -136,7 +141,7 @@ class SheddingService:
             request.p,
             request.seed,
             engine=request.engine,
-            variant=_variant_of(request),
+            variant=self._variant(request, request.method),
         )
         cached, hit = self.store.get_with_tier(key, graph)
         if cached is not None:
@@ -395,6 +400,18 @@ class SheddingService:
                 result = make_shedder(fallback, seed=request.seed).reduce(
                     graph, request.p
                 )
+        elif self._runs_sharded(method, request):
+            from repro.shard import ShardedShedder
+
+            shedder = ShardedShedder(
+                method=method,
+                num_shards=self.num_shards,
+                num_workers=self.scheduler.num_workers,
+                seed=request.seed,
+                num_betweenness_sources=request.num_sources,
+            )
+            metadata["num_shards"] = self.num_shards
+            result = shedder.reduce(graph, request.p)
         else:
             shedder = make_shedder(
                 method,
@@ -431,8 +448,34 @@ class SheddingService:
             job.request.p,
             job.request.seed,
             engine=job.request.engine,
-            variant=_variant_of(job.request),
+            variant=self._variant(job.request, method),
         )
+
+    def _runs_sharded(self, method: str, request: ReductionRequest) -> bool:
+        """Whether this method executes through the sharded runner here.
+
+        Only the paper kernels shard, and only their array engines — a
+        ``legacy``-engine request is an explicit ask for the scalar oracle.
+        """
+        return (
+            self.mode == "sharded"
+            and method in ("crr", "bm2")
+            and request.engine == "array"
+        )
+
+    def _variant(self, request: ReductionRequest, method: str) -> str:
+        """Cache-key variant for ``method`` as this service would run it.
+
+        Sharded execution produces a different (boundary-reconciled)
+        artifact than the whole-graph engines, so its results must not be
+        served from — or poison — the unsharded cache entries.  Keyed per
+        executed method because degraded fallbacks run unsharded.
+        """
+        variant = _variant_of(request)
+        if self._runs_sharded(method, request):
+            tag = f"shards={self.num_shards}"
+            variant = f"{variant},{tag}" if variant else tag
+        return variant
 
     # ------------------------------------------------------------------
     # Helpers

@@ -189,3 +189,69 @@ class TestDerivedGraphs:
     def test_repr(self, triangle):
         assert "num_nodes=3" in repr(triangle)
         assert "num_edges=3" in repr(triangle)
+
+
+class TestCSRCacheInvalidation:
+    """Audit of the csr() cache against the mutation counter.
+
+    The cache must never serve a snapshot older than the live graph: every
+    mutating path bumps ``version`` and the cache is only served while its
+    recorded version matches.
+    """
+
+    def test_csr_cached_between_calls(self, triangle):
+        assert triangle.csr() is triangle.csr()
+
+    def test_cached_csr_peek_without_build(self, triangle):
+        assert triangle.cached_csr() is None
+        snapshot = triangle.csr()
+        assert triangle.cached_csr() is snapshot
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_node(99),
+            lambda g: g.add_edge(0, 99),
+            lambda g: g.remove_edge(0, 1),
+            lambda g: g.discard_edge(0, 1),
+            lambda g: g.remove_node(0),
+        ],
+        ids=["add_node", "add_edge", "remove_edge", "discard_edge", "remove_node"],
+    )
+    def test_every_mutation_invalidates(self, triangle, mutate):
+        stale = triangle.csr()
+        version_before = triangle.version
+        mutate(triangle)
+        assert triangle.version > version_before
+        assert triangle.cached_csr() is None
+        fresh = triangle.csr()
+        assert fresh is not stale
+        assert fresh.num_nodes == triangle.num_nodes
+        assert fresh.num_edges == triangle.num_edges
+
+    def test_noop_mutations_keep_cache(self, triangle):
+        snapshot = triangle.csr()
+        assert triangle.add_node(0) is False  # already present
+        assert triangle.add_edge(0, 1) is False  # already present
+        assert triangle.discard_edge(0, 42) is False  # never existed
+        assert triangle.cached_csr() is snapshot
+
+    def test_copy_shares_cache_until_either_mutates(self, triangle):
+        snapshot = triangle.csr()
+        clone = triangle.copy()
+        assert clone.cached_csr() is snapshot
+        clone.add_edge(0, 3)
+        assert clone.cached_csr() is None
+        # the original's cache must survive the clone's mutation
+        assert triangle.cached_csr() is snapshot
+        assert clone.csr().num_edges == 4
+
+    def test_stale_version_cannot_be_served(self, triangle):
+        """Even if a stale snapshot object is still referenced somewhere,
+        csr() rebuilds: the recorded version no longer matches."""
+        stale = triangle.csr()
+        triangle.add_edge(1, 3)
+        rebuilt = triangle.csr()
+        assert rebuilt is not stale
+        assert rebuilt.num_edges == 4
+        assert stale.num_edges == 3  # old snapshot is frozen, not mutated

@@ -34,10 +34,13 @@ ratios = st.sampled_from([0.2, 0.5, 0.8])
 seeds = st.integers(0, 2**31 - 1)
 
 
-@given(connected_ish_graphs(), ratios, seeds)
+engines = st.sampled_from(["array", "legacy"])
+
+
+@given(connected_ish_graphs(), ratios, seeds, engines)
 @settings(max_examples=25, deadline=None)
-def test_utility_threshold_respected(g, p, seed):
-    result = UDSSummarizer(seed=seed).reduce(g, p)
+def test_utility_threshold_respected(g, p, seed, engine):
+    result = UDSSummarizer(seed=seed, engine=engine).reduce(g, p)
     assert result.stats["final_utility"] >= p - 1e-9
 
 

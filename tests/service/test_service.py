@@ -275,3 +275,68 @@ class TestLifecycle:
                 ReductionRequest(graph=graph, method="random", p=0.5)
             ).result(timeout=30)
             json.dumps(service.metrics_snapshot())
+
+
+class TestShardedMode:
+    def test_sharded_mode_matches_direct_sharded_shedder(self, graph):
+        from repro.shard import ShardedShedder
+
+        direct = ShardedShedder(method="bm2", num_shards=2, seed=3).reduce(graph, 0.5)
+        with SheddingService(mode="sharded", num_workers=2, num_shards=2) as service:
+            result = service.submit(
+                ReductionRequest(graph=graph, method="bm2", p=0.5, seed=3)
+            ).result(timeout=60)
+        assert result.status is JobStatus.COMPLETED
+        assert result.metadata["num_shards"] == 2
+        assert _edge_set(result.reduction) == _edge_set(direct)
+        assert result.reduction.stats["num_shards"] == 2
+
+    def test_num_shards_defaults_to_workers(self):
+        with SheddingService(mode="sharded", num_workers=3) as service:
+            assert service.num_shards == 3
+
+    def test_bad_num_shards_rejected(self):
+        with pytest.raises(ServiceError):
+            SheddingService(mode="sharded", num_shards=0)
+
+    def test_non_kernel_methods_run_unsharded(self, graph):
+        with SheddingService(mode="sharded", num_workers=2, num_shards=2) as service:
+            result = service.submit(
+                ReductionRequest(graph=graph, method="random", p=0.5, seed=3)
+            ).result(timeout=60)
+        assert result.status is JobStatus.COMPLETED
+        assert "num_shards" not in result.metadata
+        assert "num_shards" not in result.reduction.stats
+
+    def test_legacy_engine_requests_bypass_sharding(self, graph):
+        # engine="legacy" is an explicit ask for the scalar oracle.
+        with SheddingService(mode="sharded", num_workers=2, num_shards=2) as service:
+            result = service.submit(
+                ReductionRequest(graph=graph, method="bm2", p=0.5, seed=3, engine="legacy")
+            ).result(timeout=60)
+        assert result.status is JobStatus.COMPLETED
+        assert "num_shards" not in result.metadata
+
+    def test_sharded_artifacts_do_not_poison_unsharded_cache(self, graph, tmp_path):
+        """A sharded run and a whole-graph run of the same request are
+        different artifacts and must occupy different cache entries."""
+        request = ReductionRequest(graph=graph, method="crr", p=0.5, seed=3)
+        with SheddingService(
+            mode="sharded", num_workers=2, num_shards=2, cache_dir=tmp_path
+        ) as sharded_service:
+            sharded = sharded_service.submit(request).result(timeout=60)
+            assert sharded.cache_hit is None
+        with SheddingService(mode="inline", cache_dir=tmp_path) as plain_service:
+            plain = plain_service.submit(request).result(timeout=60)
+            # sharing the persist dir must not serve the sharded artifact
+            assert plain.cache_hit is None
+            assert plain.reduction.method == "CRR"
+        assert sharded.reduction.method == "ShardedCRR"
+
+    def test_sharded_cache_hit_on_resubmit(self, graph):
+        request = ReductionRequest(graph=graph, method="bm2", p=0.5, seed=3)
+        with SheddingService(mode="sharded", num_workers=2, num_shards=2) as service:
+            first = service.submit(request).result(timeout=60)
+            second = service.submit(request).result(timeout=60)
+            assert first.cache_hit is None
+            assert second.cache_hit == "memory"

@@ -92,6 +92,77 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["reduce", "--scale", "0.02", "--method", "bogus"])
 
+    def test_reduce_sharded_json(self, capsys):
+        code = main(
+            [
+                "reduce",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "crr",
+                "--p", "0.5",
+                "--sources", "16",
+                "--seed", "3",
+                "--shards", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["method"] == "ShardedCRR"
+        sharding = payload["sharding"]
+        assert sharding["num_shards"] == 2
+        assert sharding["num_workers"] == 1
+        assert sharding["boundary_edges"] >= 0
+        assert len(sharding["per_shard"]) == 2
+        for entry in sharding["per_shard"]:
+            assert entry["seconds"] >= 0.0
+        for phase in ("partition_seconds", "shard_seconds", "reconcile_seconds"):
+            assert sharding[phase] >= 0.0
+
+    def test_reduce_sharded_text_summary(self, capsys):
+        code = main(
+            [
+                "reduce",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--method", "bm2",
+                "--p", "0.5",
+                "--seed", "3",
+                "--shards", "2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharding: 2 shards" in out
+        assert "2 workers" in out
+        assert "shard 0:" in out
+
+    def test_reduce_sharded_rejects_unsupported_method(self):
+        with pytest.raises(SystemExit):
+            main(["reduce", "--scale", "0.02", "--method", "uds", "--shards", "2"])
+
+    def test_reduce_sharded_rejects_bad_count(self):
+        with pytest.raises(SystemExit):
+            main(["reduce", "--scale", "0.02", "--method", "crr", "--shards", "0"])
+
+    def test_reduce_shards_one_matches_whole_graph(self, capsys):
+        args = [
+            "reduce",
+            "--dataset", "ca-grqc",
+            "--scale", "0.02",
+            "--method", "bm2",
+            "--p", "0.5",
+            "--seed", "3",
+            "--json",
+        ]
+        assert main(args) == 0
+        whole = _json_out(capsys)
+        assert main(args + ["--shards", "1"]) == 0
+        sharded = _json_out(capsys)
+        assert sharded["delta"] == whole["delta"]
+        assert sharded["reduced_edges"] == whole["reduced_edges"]
+
     def test_evaluate(self, capsys):
         code = main(
             [

@@ -66,6 +66,7 @@ class TestTopLevelExports:
         "repro.streaming",
         "repro.dynamic",
         "repro.service",
+        "repro.shard",
         "repro.bench",
         "repro.bench.experiments",
     ],
