@@ -54,12 +54,24 @@ _TASK_KEYS = {
 }
 
 
-def _make_shedder(method: str, seed: int, sources: Optional[int]) -> EdgeShedder:
+def _make_shedder(
+    method: str,
+    seed: int,
+    sources: Optional[int],
+    sparsify: Optional[str] = None,
+    sparsify_beta: Optional[int] = None,
+) -> EdgeShedder:
     from repro.service.request import make_shedder
 
     try:
-        return make_shedder(method, seed=seed, num_sources=sources)
-    except ServiceError as error:
+        return make_shedder(
+            method,
+            seed=seed,
+            num_sources=sources,
+            sparsify=sparsify,
+            sparsify_beta=sparsify_beta,
+        )
+    except (ServiceError, ValueError) as error:
         raise SystemExit(str(error)) from None
 
 
@@ -80,7 +92,7 @@ def _graph_ref(args: argparse.Namespace) -> str:
 
 def _reduction_dict(result: ReductionResult) -> Dict[str, Any]:
     """JSON-friendly rendering of one reduction (shared by ``--json`` modes)."""
-    return {
+    payload = {
         "method": result.method,
         "p": result.p,
         "original_nodes": result.original.num_nodes,
@@ -91,6 +103,17 @@ def _reduction_dict(result: ReductionResult) -> Dict[str, Any]:
         "average_delta": result.average_delta,
         "elapsed_seconds": result.elapsed_seconds,
     }
+    # BM2-specific provenance: which Phase-2 engine ran and how hard the
+    # EDCS sparsifier pruned the candidate pool.
+    for key in (
+        "repair_engine",
+        "sparsify",
+        "sparsify_beta",
+        "phase2_candidate_edges_pruned",
+    ):
+        if key in result.stats:
+            payload[key] = result.stats[key]
+    return payload
 
 
 def _emit_json(payload: Dict[str, Any]) -> None:
@@ -144,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process fan-out for --shards (identical output at any count)",
+    )
+    reduce_parser.add_argument(
+        "--sparsify",
+        default=None,
+        choices=["off", "edcs"],
+        help="EDCS candidate pruning for BM2's Phase 2 "
+        "(bm2 defaults to off, bm2-sparse to edcs)",
+    )
+    reduce_parser.add_argument(
+        "--sparsify-beta",
+        type=int,
+        default=None,
+        help="per-node candidate cap for --sparsify edcs (default: EDCS beta)",
     )
 
     evaluate_parser = sub.add_parser("evaluate", help="reduce, then run evaluation tasks")
@@ -276,19 +312,32 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_sharded_shedder(args: argparse.Namespace) -> EdgeShedder:
     from repro.shard import SHARD_METHODS, ShardedShedder
 
-    if args.method not in SHARD_METHODS:
+    if args.method not in SHARD_METHODS and args.method != "bm2-sparse":
         raise SystemExit(
-            f"--shards supports methods {'/'.join(SHARD_METHODS)}, got {args.method!r}"
+            f"--shards supports methods {'/'.join(SHARD_METHODS)} and bm2-sparse, "
+            f"got {args.method!r}"
         )
     if args.shards < 1:
         raise SystemExit(f"--shards must be positive, got {args.shards}")
-    return ShardedShedder(
-        method=args.method,
-        num_shards=args.shards,
-        num_workers=max(args.workers or 1, 1),
-        seed=args.seed,
-        num_betweenness_sources=args.sources,
-    )
+    sparsify = getattr(args, "sparsify", None)
+    sparsify_beta = getattr(args, "sparsify_beta", None)
+    if args.method == "bm2-sparse":
+        method = "bm2"
+        sparsify = sparsify or "edcs"
+    else:
+        method = args.method
+    try:
+        return ShardedShedder(
+            method=method,
+            num_shards=args.shards,
+            num_workers=max(args.workers or 1, 1),
+            seed=args.seed,
+            num_betweenness_sources=args.sources,
+            sparsify=sparsify or "off",
+            sparsify_beta=sparsify_beta,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _shard_stats_dict(stats: Dict[str, Any]) -> Dict[str, Any]:
@@ -301,6 +350,7 @@ def _shard_stats_dict(stats: Dict[str, Any]) -> Dict[str, Any]:
         "boundary_admitted": stats["boundary_admitted"],
         "boundary_filled": stats["boundary_filled"],
         "demoted": stats["demoted"],
+        "boundary_candidates_pruned": stats.get("boundary_candidates_pruned", 0),
         "delta_bound": stats["delta_bound"],
         "partition_seconds": stats["partition_seconds"],
         "shard_seconds": stats["shard_seconds"],
@@ -314,7 +364,13 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     if args.shards is not None:
         shedder = _make_sharded_shedder(args)
     else:
-        shedder = _make_shedder(args.method, args.seed, args.sources)
+        shedder = _make_shedder(
+            args.method,
+            args.seed,
+            args.sources,
+            sparsify=args.sparsify,
+            sparsify_beta=args.sparsify_beta,
+        )
     result = shedder.reduce(graph, args.p)
     validation_ok = True
     validation_text = None

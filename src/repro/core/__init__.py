@@ -6,7 +6,7 @@ theoretical bounds from Theorems 1-2, and structure-blind ablation shedders.
 """
 
 from repro.core.base import EdgeShedder, ReductionResult, timed_phase, validate_ratio
-from repro.core.bm2 import BM2Shedder, bipartite_repair
+from repro.core.bm2 import BM2Shedder, bipartite_repair, bipartite_repair_ids
 from repro.core.bounds import (
     bm2_average_delta_bound,
     bm2_bound_for_graph,
@@ -28,6 +28,7 @@ from repro.core.discrepancy import (
 from repro.core.local_shed import JaccardShedder, LocalDegreeShedder
 from repro.core.progressive import degrade_method, progressive_reduce, rescore_result
 from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
+from repro.core.sparsify import edcs_beta, prune_boundary_ids, prune_candidates_ids
 from repro.core.validation import ValidationReport, validate_reduction
 
 __all__ = [
@@ -39,6 +40,10 @@ __all__ = [
     "IndexedEdgePool",
     "BM2Shedder",
     "bipartite_repair",
+    "bipartite_repair_ids",
+    "edcs_beta",
+    "prune_candidates_ids",
+    "prune_boundary_ids",
     "ArrayDegreeTracker",
     "DegreeTracker",
     "compute_delta",

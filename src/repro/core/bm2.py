@@ -34,13 +34,24 @@ from typing import Any, Dict, List, Tuple
 import numpy as np
 
 from repro.core.base import EdgeShedder, timed_phase
-from repro.core.discrepancy import ArrayDegreeTracker, DegreeTracker, round_half_up
+from repro.core.discrepancy import (
+    ArrayDegreeTracker,
+    DegreeTracker,
+    _TrackerIdsView,
+    round_half_up,
+)
+from repro.core.sparsify import edcs_beta, prune_candidates_ids
 from repro.errors import ReductionError
 from repro.graph.graph import Edge, Graph, Node
 from repro.graph.matching import greedy_b_matching, greedy_b_matching_ids
 from repro.rng import RandomState, ensure_rng
 
-__all__ = ["BM2Shedder", "bipartite_repair", "bm2_reduce_ids"]
+__all__ = [
+    "BM2Shedder",
+    "bipartite_repair",
+    "bipartite_repair_ids",
+    "bm2_reduce_ids",
+]
 
 #: Tolerance for float noise in gain/discrepancy comparisons.  Expected
 #: degrees are products like ``0.4 * 2`` that are inexact in binary, so a
@@ -87,8 +98,16 @@ def bipartite_repair(
     tracker: DegreeTracker,
     candidate_edges: List[Tuple[Node, Node]],
     accept_zero_gain: bool = False,
+    engine: str = "heap",
 ) -> List[Edge]:
     """Algorithm 3: greedy weighted semi-matching between groups A and B.
+
+    ``engine="heap"`` (default) is the original lazy max-heap below;
+    ``engine="array"`` routes to the gain-bucketed numpy engine
+    (:func:`bipartite_repair_ids`), which requires an
+    :class:`~repro.core.discrepancy.ArrayDegreeTracker` (or its id view)
+    and id-tuple candidates, and returns the identical selections in the
+    identical order.
 
     ``candidate_edges`` must be oriented ``(a, b)`` with ``a`` in group A and
     ``b`` in group B under ``tracker``'s current state.  The tracker is
@@ -102,6 +121,22 @@ def bipartite_repair(
     skipped on pop.  Gains only ever decrease as A-deficits shrink, so lazy
     deletion is safe.
     """
+    if engine not in ("heap", "array"):
+        raise ValueError(f"engine must be 'heap' or 'array', got {engine!r}")
+    if engine == "array":
+        if isinstance(tracker, _TrackerIdsView):
+            tracker = tracker._tracker
+        if not isinstance(tracker, ArrayDegreeTracker):
+            raise ValueError(
+                "engine='array' requires an ArrayDegreeTracker (or its ids_view)"
+            )
+        count = len(candidate_edges)
+        cand_a = np.fromiter((a for a, _ in candidate_edges), np.int64, count=count)
+        cand_b = np.fromiter((b for _, b in candidate_edges), np.int64, count=count)
+        sel_a, sel_b = bipartite_repair_ids(
+            tracker, cand_a, cand_b, accept_zero_gain=accept_zero_gain
+        )
+        return list(zip(sel_a.tolist(), sel_b.tolist()))
     weight: Dict[Tuple[Node, Node], float] = {}
     edges_by_a: Dict[Node, List[Node]] = {}
     alive_b: set = set()
@@ -171,6 +206,212 @@ def bipartite_repair(
     return selected
 
 
+def bipartite_repair_ids(
+    tracker: ArrayDegreeTracker,
+    cand_a: np.ndarray,
+    cand_b: np.ndarray,
+    accept_zero_gain: bool = False,
+    engine: str = "bucket",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Id-native Algorithm 3 over candidate endpoint arrays.
+
+    ``cand_a``/``cand_b`` are int64 CSR-id arrays oriented A-side first.
+    ``engine="bucket"`` runs the gain-bucketed array engine
+    (:func:`_bucket_repair_ids`), whose selections, selection order and
+    tracker ``Δ`` are bit-identical to the lazy heap's;
+    ``engine="heap"`` wraps :func:`bipartite_repair` as the oracle.
+    Returns the selected ``(a_ids, b_ids)`` in selection order; the
+    tracker is mutated exactly as by the heap path.
+    """
+    if engine not in ("bucket", "heap"):
+        raise ValueError(f"engine must be 'bucket' or 'heap', got {engine!r}")
+    if isinstance(tracker, _TrackerIdsView):
+        tracker = tracker._tracker
+    cand_a = np.asarray(cand_a, dtype=np.int64)
+    cand_b = np.asarray(cand_b, dtype=np.int64)
+    if engine == "heap":
+        candidates = list(zip(cand_a.tolist(), cand_b.tolist()))
+        repaired = bipartite_repair(
+            tracker.ids_view(), candidates, accept_zero_gain=accept_zero_gain
+        )
+        count = len(repaired)
+        sel_a = np.fromiter((a for a, _ in repaired), np.int64, count=count)
+        sel_b = np.fromiter((b for _, b in repaired), np.int64, count=count)
+        return sel_a, sel_b
+    return _bucket_repair_ids(tracker, cand_a, cand_b, accept_zero_gain)
+
+
+def _bucket_repair_ids(
+    tracker: ArrayDegreeTracker,
+    cand_a: np.ndarray,
+    cand_b: np.ndarray,
+    accept_zero_gain: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gain-bucketed Algorithm 3 — the heap replayed in sorted-run order.
+
+    Why this is *exactly* the heap, not an approximation of it:
+
+    * The heap pops entries in ``(gain desc, counter asc)`` order, where
+      counters number pool insertions.  Initial insertions happen in
+      candidate order and every re-weight push gets a fresh, larger
+      counter — so one ``lexsort`` over (−gain, candidate index) replays
+      the initial pool, and a small ``heapq`` of demoted entries replays
+      the pushes.  Within one gain value ("bucket") all initial entries
+      precede all demoted ones.
+    * A re-weight strictly *lowers* an edge's gain (the demoting A node's
+      deficit offset ``φ = dis(a)+1`` is > ε after snapping, so the new
+      weight ``old − 2φ`` cannot snap back up), hence a bucket never
+      grows while being processed and descending-run iteration is safe.
+    * Gains, re-weights and ``Δ`` accumulation use the same expressions,
+      association order and :func:`_snap` pipeline as the heap, evaluated
+      over the same in-place ``dis`` array — bitwise-equal floats make
+      every comparison agree.
+
+    The win over the heap: initial gains are one vectorized pass instead
+    of a per-edge Python loop, there are no heap pushes/pops for the
+    (dominant) never-selected candidates, stale entries are skipped by an
+    int8 state array, and each A-node re-weight is one vectorized batch.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    k = int(cand_a.shape[0])
+    if k == 0:
+        return empty, empty.copy()
+    dis = tracker.dis_array()
+    n = tracker.num_nodes
+
+    # Initial gains: same expression and association order as the heap's
+    # per-edge `_snap(abs(dis(a)) + 2*abs(dis(b)) - abs(dis(a) + 1) - 1)`.
+    da = dis[cand_a]
+    gains = np.abs(da) + 2.0 * np.abs(dis[cand_b])
+    gains -= np.abs(da + 1.0)
+    gains -= 1.0
+    gains = _snap_array(gains)
+
+    # The heap admits every gain >= 0 edge to the pool (zero-gain edges are
+    # only dropped at pop time), so its duplicate check covers them all.
+    eligible = np.nonzero(gains >= 0.0)[0]
+    if eligible.size:
+        keys = cand_a[eligible] * n + cand_b[eligible]
+        if np.unique(keys).shape[0] != keys.shape[0]:
+            seen: set = set()
+            for i in eligible.tolist():
+                key = (int(cand_a[i]), int(cand_b[i]))
+                if key in seen:
+                    raise ReductionError(f"duplicate candidate edge {key!r}")
+                seen.add(key)
+
+    # Zero-gain edges, when rejected, are dropped by the heap at pop time
+    # with no side effect (a re-weight could only delete them: the new
+    # weight is strictly below zero) — so they can be excluded up front.
+    if accept_zero_gain:
+        alive = eligible
+    else:
+        alive = np.nonzero(gains > 0.0)[0]
+    if alive.size == 0:
+        return empty, empty.copy()
+
+    #: 0 = pool (initial weight), 1 = pool (demoted weight), 2 = gone.
+    state = np.full(k, 2, dtype=np.int8)
+    state[alive] = 0
+    b_dead = np.zeros(n, dtype=bool)
+    a_retired = np.zeros(n, dtype=bool)
+
+    # Main replay order: descending gain, candidate order within a gain.
+    order = np.lexsort((alive, -gains[alive]))
+    ms_idx = alive[order]
+    ms_gain = gains[alive][order]
+    run_starts = np.nonzero(np.concatenate(([True], ms_gain[1:] != ms_gain[:-1])))[0]
+    run_ends = np.append(run_starts[1:], ms_gain.shape[0])
+    run_gains = ms_gain[run_starts]
+
+    # Pool edges grouped by A node (ascending candidate index within a
+    # group — the heap's `edges_by_a` scan order) for re-weight batches.
+    by_a = alive[np.argsort(cand_a[alive], kind="stable")]
+    uniq_a, group_starts = np.unique(cand_a[by_a], return_index=True)
+    group_bounds = np.append(group_starts, by_a.shape[0])
+    a_slices = {
+        int(node): (int(group_starts[j]), int(group_bounds[j + 1]))
+        for j, node in enumerate(uniq_a.tolist())
+    }
+
+    ca = cand_a.tolist()
+    cb = cand_b.tolist()
+    add_edge_ids = tracker.add_edge_ids
+    sel_a: List[int] = []
+    sel_b: List[int] = []
+    demoted: List[Tuple[float, int, int]] = []  # (-gain, counter, cand idx)
+    counter = k
+    run = 0
+    num_runs = int(run_gains.shape[0])
+
+    while run < num_runs or demoted:
+        gain_main = float(run_gains[run]) if run < num_runs else None
+        gain_dem = -demoted[0][0] if demoted else None
+        bucket_gain = (
+            gain_main
+            if gain_dem is None or (gain_main is not None and gain_main >= gain_dem)
+            else gain_dem
+        )
+        bucket: List[int] = []
+        dem_from = 0
+        if gain_main is not None and gain_main == bucket_gain:
+            seg = ms_idx[run_starts[run] : run_ends[run]]
+            seg = seg[
+                (state[seg] == 0)
+                & ~b_dead[cand_b[seg]]
+                & ~a_retired[cand_a[seg]]
+            ]
+            bucket.extend(seg.tolist())
+            dem_from = len(bucket)
+            run += 1
+        while demoted and -demoted[0][0] == bucket_gain:
+            bucket.append(heapq.heappop(demoted)[2])
+
+        for pos, idx in enumerate(bucket):
+            # Initial-weight entries require state 0, demoted ones state 1
+            # (an entry demoted mid-bucket must not also admit at its old
+            # weight); counters guarantee initial entries come first.
+            if state[idx] != (0 if pos < dem_from else 1):
+                continue
+            a = ca[idx]
+            b = cb[idx]
+            if b_dead[b] or a_retired[a]:
+                continue
+
+            state[idx] = 2
+            add_edge_ids(a, b)
+            sel_a.append(a)
+            sel_b.append(b)
+            b_dead[b] = True
+
+            dis_a = _snap(float(dis[a]))
+            if dis_a <= -1:
+                continue  # Lemma 2 zone: a's other gains are unchanged.
+            if dis_a > -0.5:
+                a_retired[a] = True
+                continue
+            # -1 < dis(a) <= -0.5: re-weight a's surviving pool edges.
+            lo, hi = a_slices[a]
+            group = by_a[lo:hi]
+            surviving = group[(state[group] == 0) & ~b_dead[cand_b[group]]]
+            if surviving.size == 0:
+                continue
+            new_w = abs(dis_a) + 2.0 * np.abs(dis[cand_b[surviving]])
+            new_w -= abs(1 + dis_a)
+            new_w -= 1.0
+            new_w = _snap_array(new_w)
+            keep = new_w >= 0.0 if accept_zero_gain else new_w > 0.0
+            state[surviving] = np.where(keep, np.int8(1), np.int8(2))
+            for weight, edge_idx in zip(new_w[keep].tolist(), surviving[keep].tolist()):
+                heapq.heappush(demoted, (-weight, counter, edge_idx))
+                counter += 1
+
+    return (
+        np.asarray(sel_a, dtype=np.int64),
+        np.asarray(sel_b, dtype=np.int64),
+    )
+
+
 class BM2Shedder(EdgeShedder):
     """Algorithm 2: rounded b-matching plus bipartite deficit repair.
 
@@ -187,6 +428,17 @@ class BM2Shedder(EdgeShedder):
             same gains bit for bit; ``"legacy"`` is the original dict scan,
             kept as the exactness oracle.  Both engines keep the identical
             edge set.
+        sparsify: ``"off"`` (default) feeds Algorithm 3 every unmatched
+            A–B edge, bit-identical to the historical edge set; ``"edcs"``
+            first prunes the candidates to a bounded-degree subgraph
+            (:func:`repro.core.sparsify.prune_candidates_ids`) — near-linear
+            Phase 2 with a property-pinned quality bound.  Array engine only.
+        sparsify_beta: EDCS degree bound ``β``; ``None`` derives the
+            default from :func:`repro.core.sparsify.edcs_beta`.
+        repair: Algorithm 3 engine — ``"bucket"`` (gain-bucketed numpy,
+            bit-identical to the heap) or ``"heap"`` (the original lazy
+            max-heap oracle).  ``None`` resolves to ``"bucket"`` for the
+            array engine and ``"heap"`` for legacy.
         seed: randomness for ``shuffle_edges``.
     """
 
@@ -199,6 +451,9 @@ class BM2Shedder(EdgeShedder):
         shuffle_edges: bool = False,
         engine: str = "array",
         seed: RandomState = None,
+        sparsify: str = "off",
+        sparsify_beta: "int | None" = None,
+        repair: "str | None" = None,
     ) -> None:
         if rounding not in _ROUNDING_RULES:
             raise ValueError(
@@ -206,10 +461,26 @@ class BM2Shedder(EdgeShedder):
             )
         if engine not in ("array", "legacy"):
             raise ValueError(f"engine must be 'array' or 'legacy', got {engine!r}")
+        if sparsify not in ("off", "edcs"):
+            raise ValueError(f"sparsify must be 'off' or 'edcs', got {sparsify!r}")
+        if repair not in (None, "bucket", "heap"):
+            raise ValueError(f"repair must be 'bucket' or 'heap', got {repair!r}")
+        if engine == "legacy":
+            if sparsify != "off":
+                raise ValueError("sparsify requires engine='array' (legacy is the oracle)")
+            if repair == "bucket":
+                raise ValueError("repair='bucket' requires engine='array'")
+        if sparsify_beta is not None and sparsify_beta < 1:
+            raise ValueError(f"sparsify_beta must be positive, got {sparsify_beta}")
         self.rounding = rounding
         self.accept_zero_gain = accept_zero_gain
         self.shuffle_edges = shuffle_edges
         self.engine = engine
+        self.sparsify = sparsify
+        self.sparsify_beta = sparsify_beta
+        self.repair = repair if repair is not None else (
+            "bucket" if engine == "array" else "heap"
+        )
         self._seed = seed
 
     def _reduce(self, graph: Graph, p: float) -> Tuple[Graph, Dict[str, Any]]:
@@ -263,6 +534,10 @@ class BM2Shedder(EdgeShedder):
                 "group_b_size": len(group_b),
                 "candidate_edges": len(candidates),
                 "tracker_delta": tracker.delta,
+                "repair_engine": "heap",
+                "sparsify": "off",
+                "sparsify_beta": 0,
+                "phase2_candidate_edges_pruned": 0,
             }
         )
         return reduced, stats
@@ -288,6 +563,9 @@ class BM2Shedder(EdgeShedder):
             accept_zero_gain=self.accept_zero_gain,
             shuffle_edges=self.shuffle_edges,
             seed=self._seed,
+            sparsify=self.sparsify,
+            sparsify_beta=self.sparsify_beta,
+            repair=self.repair,
         )
         return csr.subgraph_from_edge_ids(kept_u, kept_v), stats
 
@@ -300,6 +578,9 @@ def bm2_reduce_ids(
     accept_zero_gain: bool = False,
     shuffle_edges: bool = False,
     seed: RandomState = None,
+    sparsify: str = "off",
+    sparsify_beta: "int | None" = None,
+    repair: str = "bucket",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Both BM2 phases over a CSR snapshot, returning kept edge ids.
 
@@ -310,7 +591,15 @@ def bm2_reduce_ids(
     as ``(u_ids, v_ids)`` — matched edges in scan order followed by the
     repair selections (repair pairs are oriented A-side first, which
     :meth:`CSRAdjacency.subgraph_from_edge_ids` accepts as-is).
+
+    ``sparsify="edcs"`` prunes the A–B candidates to a bounded-degree
+    subgraph before Algorithm 3 (``β`` from ``sparsify_beta`` or
+    :func:`repro.core.sparsify.edcs_beta`); ``repair`` picks the
+    Algorithm 3 engine (``"bucket"`` array engine / ``"heap"`` oracle) —
+    candidate and selected edges stay int64 arrays end to end.
     """
+    if sparsify not in ("off", "edcs"):
+        raise ValueError(f"sparsify must be 'off' or 'edcs', got {sparsify!r}")
     capacities = _ROUNDING_RULES_ARRAY[rounding](p * csr.degree_array())
 
     with timed_phase(stats, "phase1_seconds"):
@@ -347,27 +636,42 @@ def bm2_reduce_ids(
         forward = a_to_b[position]
         cand_a = np.where(forward, edge_u[position], edge_v[position])
         cand_b = np.where(forward, edge_v[position], edge_u[position])
-        candidates = list(zip(cand_a.tolist(), cand_b.tolist()))
+        total_candidates = int(position.shape[0])
 
-        repaired = bipartite_repair(
-            tracker.ids_view(), candidates, accept_zero_gain=accept_zero_gain
+        beta = 0
+        pruned = 0
+        if sparsify == "edcs":
+            beta = int(sparsify_beta) if sparsify_beta is not None else edcs_beta()
+            if total_candidates:
+                dis = tracker.dis_array()
+                da = dis[cand_a]
+                cand_gains = np.abs(da) + 2.0 * np.abs(dis[cand_b])
+                cand_gains -= np.abs(da + 1.0)
+                cand_gains -= 1.0
+                cand_gains = _snap_array(cand_gains)
+                keep = prune_candidates_ids(cand_a, cand_b, cand_gains, beta)
+                pruned = total_candidates - int(keep.shape[0])
+                cand_a = cand_a[keep]
+                cand_b = cand_b[keep]
+
+        sel_a, sel_b = bipartite_repair_ids(
+            tracker, cand_a, cand_b, accept_zero_gain=accept_zero_gain, engine=repair
         )
 
-    repair_count = len(repaired)
-    kept_u = np.concatenate(
-        (matched_u, np.fromiter((a for a, _ in repaired), np.int64, count=repair_count))
-    )
-    kept_v = np.concatenate(
-        (matched_v, np.fromiter((b for _, b in repaired), np.int64, count=repair_count))
-    )
+    kept_u = np.concatenate((matched_u, sel_a))
+    kept_v = np.concatenate((matched_v, sel_b))
     stats.update(
         {
             "matched_edges": int(np.count_nonzero(scan_kept)),
-            "repair_edges": len(repaired),
+            "repair_edges": int(sel_a.shape[0]),
             "group_a_size": int(np.count_nonzero(group_a)),
             "group_b_size": int(np.count_nonzero(group_b)),
-            "candidate_edges": len(candidates),
+            "candidate_edges": total_candidates,
             "tracker_delta": tracker.delta,
+            "repair_engine": repair,
+            "sparsify": sparsify,
+            "sparsify_beta": beta,
+            "phase2_candidate_edges_pruned": pruned,
         }
     )
     return kept_u, kept_v

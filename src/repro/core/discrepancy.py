@@ -488,6 +488,54 @@ class ArrayDegreeTracker:
         np.subtract(self._current, self._expected, out=self._dis)
         self._delta = float(np.abs(self._dis).sum())
 
+    def admit_edges_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> None:
+        """Bulk :meth:`add_edge_ids` with the scalar path's exact ``Δ`` order.
+
+        Unlike :meth:`add_edges_ids` (which recomputes ``Δ = Σ|dis|``),
+        this accumulates ``Δ`` term by term in batch order — bit-identical
+        to calling :meth:`add_edge_ids` per edge.  When every endpoint in
+        the batch is distinct the per-edge terms are evaluated in one
+        vectorized pass (no term can depend on an earlier edge's update);
+        batches with repeated endpoints fall back to the scalar loop.
+        Validation matches the scalar path: the first offending edge in
+        batch order raises.  On the vectorized path nothing is committed
+        before the raise; the scalar fallback commits the edges preceding
+        the offender, exactly like per-edge :meth:`add_edge_ids` calls.
+        """
+        edge_u = np.asarray(edge_u, dtype=np.int64)
+        edge_v = np.asarray(edge_v, dtype=np.int64)
+        count = int(edge_u.shape[0])
+        if count == 0:
+            return
+        endpoints = np.concatenate((edge_u, edge_v))
+        if np.unique(endpoints).shape[0] != 2 * count:
+            for u, v in zip(edge_u.tolist(), edge_v.tolist()):
+                self.add_edge_ids(u, v)
+            return
+        n = self._n
+        keys = (np.minimum(edge_u, edge_v) * n + np.maximum(edge_u, edge_v)).tolist()
+        key_set = set(keys)
+        if not key_set <= self._graph_keys or (key_set & self._edge_keys):
+            labels = self._csr.labels
+            for key, u, v in zip(keys, edge_u.tolist(), edge_v.tolist()):
+                if key not in self._graph_keys:
+                    raise EdgeNotFoundError(labels[u], labels[v])
+                if key in self._edge_keys:
+                    raise ReductionError(
+                        f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked"
+                    )
+        terms = add_change_from_dis(self._dis, edge_u, edge_v)
+        delta = self._delta
+        for term in terms.tolist():
+            delta += term
+        self._delta = delta
+        self._edge_keys |= key_set
+        current, expected, dis = self._current, self._expected, self._dis
+        current[edge_u] += 1
+        current[edge_v] += 1
+        dis[edge_u] = current[edge_u] - expected[edge_u]
+        dis[edge_v] = current[edge_v] - expected[edge_v]
+
     # ------------------------------------------------------------------
     # Hypothetical moves (no mutation)
     # ------------------------------------------------------------------

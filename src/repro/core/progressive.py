@@ -18,8 +18,8 @@ already-computed reduced graph as a :class:`ReductionResult` scored
 against an arbitrary original (used both for the nested levels here and
 for re-labelling degraded service runs), and the degradation ladder
 (:data:`DEGRADATION_LADDER` / :func:`degrade_method`) encodes the
-quality-for-speed ordering CRR → BM2 → random that admission control
-walks under deadline pressure.
+quality-for-speed ordering CRR → BM2 → sparsified BM2 → random that
+admission control walks under deadline pressure.
 """
 
 from __future__ import annotations
@@ -45,7 +45,8 @@ __all__ = [
 DEGRADATION_LADDER: Dict[str, Optional[str]] = {
     "crr": "bm2",
     "uds": "bm2",
-    "bm2": "random",
+    "bm2": "bm2-sparse",
+    "bm2-sparse": "random",
     "degree-proportional": "random",
     "random": None,
 }

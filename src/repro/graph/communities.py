@@ -13,6 +13,8 @@ import math
 from collections import Counter
 from typing import Dict, Hashable, Mapping
 
+import numpy as np
+
 from repro.graph.graph import Graph, Node
 from repro.rng import RandomState, ensure_rng
 
@@ -25,7 +27,10 @@ __all__ = [
 
 
 def label_propagation(
-    graph: Graph, max_iterations: int = 100, seed: RandomState = None
+    graph: Graph,
+    max_iterations: int = 100,
+    seed: RandomState = None,
+    engine: str = "csr",
 ) -> Dict[Node, int]:
     """Asynchronous label propagation; returns node -> community id.
 
@@ -34,7 +39,24 @@ def label_propagation(
     randomly).  Converges when no node changes in a full sweep.  Isolated
     nodes keep their own singleton label.  Community ids are re-numbered
     densely (0..k-1) in first-appearance order for determinism.
+
+    ``engine="csr"`` (default) runs the sweep as vectorized passes over
+    flat adjacency arrays (:func:`_label_propagation_csr`); the per-node
+    ``engine="legacy"`` scan is retained as the exactness oracle.  Both
+    engines consume identical RNG draws and return identical memberships
+    for the same seed.
     """
+    if engine not in ("csr", "legacy"):
+        raise ValueError(f"engine must be 'csr' or 'legacy', got {engine!r}")
+    if engine == "csr":
+        return _label_propagation_csr(graph, max_iterations, seed)
+    return _label_propagation_legacy(graph, max_iterations, seed)
+
+
+def _label_propagation_legacy(
+    graph: Graph, max_iterations: int = 100, seed: RandomState = None
+) -> Dict[Node, int]:
+    """The original per-node Python sweep (the CSR engine's oracle)."""
     rng = ensure_rng(seed)
     labels: Dict[Node, int] = {node: i for i, node in enumerate(graph.nodes())}
     nodes = list(graph.nodes())
@@ -62,6 +84,173 @@ def label_propagation(
             remap[label] = len(remap)
         renumbered[node] = remap[label]
     return renumbered
+
+
+def _label_propagation_csr(
+    graph: Graph, max_iterations: int = 100, seed: RandomState = None
+) -> Dict[Node, int]:
+    """Vectorized asynchronous label propagation, RNG-identical to legacy.
+
+    Asynchronous sweeps cannot be naively batched — each node must see the
+    labels of neighbours already processed *this* sweep.  The trick is a
+    conflict-free block decomposition of the shuffled order: a node opens a
+    new block exactly when one of its neighbours was already processed in
+    the current block, so within a block every node's neighbourhood labels
+    are frozen and the whole block resolves in one vectorized pass
+    (segment counts + ``maximum.reduceat``), with async semantics intact.
+
+    Exactness notes: the per-sweep shuffle permutes a Python list (the
+    same ``Generator.shuffle`` draw stream as the legacy node list), the
+    flat adjacency is built in ``graph.neighbors()`` order (*not* the
+    CSR's sorted slices) so tie candidates enumerate in the legacy
+    ``Counter`` insertion order, and tie draws are batched through
+    ``rng.integers(0, highs)`` — elementwise identical to the legacy
+    scalar draw sequence.  Isolated nodes never draw, as in legacy.
+    """
+    rng = ensure_rng(seed)
+    node_list = list(graph.nodes())
+    n = len(node_list)
+    if n == 0:
+        return {}
+    index_of = {node: i for i, node in enumerate(node_list)}
+
+    # Flat adjacency in graph.neighbors() (= insertion) order.
+    degrees = np.fromiter(
+        (graph.degree(node) for node in node_list), dtype=np.int64, count=n
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    total = int(indptr[-1])
+    adjacency = np.fromiter(
+        (index_of[x] for node in node_list for x in graph.neighbors(node)),
+        dtype=np.int64,
+        count=total,
+    )
+
+    labels = np.arange(n, dtype=np.int64)
+    order_list = list(range(n))
+    position = np.empty(n, dtype=np.int64)
+    has_neighbors = degrees > 0
+    slice_starts = np.minimum(indptr[:-1], max(total - 1, 0))
+
+    for _ in range(max_iterations):
+        rng.shuffle(order_list)
+        changed = 0
+        if total:
+            order = np.asarray(order_list, dtype=np.int64)
+            position[order] = np.arange(n, dtype=np.int64)
+            # Latest earlier-in-sweep position among each node's neighbours.
+            neighbor_pos = position[adjacency]
+            own_pos = np.repeat(position, degrees)
+            earlier = np.where(neighbor_pos < own_pos, neighbor_pos, -1)
+            latest_earlier = np.maximum.reduceat(earlier, slice_starts)
+            latest_earlier[~has_neighbors] = -1
+            prev_of_pos = latest_earlier[order]
+
+            # Conflict-free blocks over the shuffled order.
+            cuts = [0]
+            block_start = 0
+            for t, prev in enumerate(prev_of_pos.tolist()):
+                if prev >= block_start:
+                    cuts.append(t)
+                    block_start = t
+            cuts.append(n)
+
+            for s, e in zip(cuts[:-1], cuts[1:]):
+                block = order[s:e]
+                block = block[has_neighbors[block]]
+                if block.shape[0] == 0:
+                    continue
+                changed += _propagate_block(
+                    block, labels, adjacency, indptr, degrees, n, rng
+                )
+        if changed == 0:
+            break
+
+    # Dense re-numbering in node insertion (= id) order.
+    unique_labels, first_index = np.unique(labels, return_index=True)
+    lut = np.empty(n, dtype=np.int64)
+    lut[unique_labels[np.argsort(first_index, kind="stable")]] = np.arange(
+        unique_labels.shape[0], dtype=np.int64
+    )
+    final = lut[labels].tolist()
+    return {node: final[i] for i, node in enumerate(node_list)}
+
+
+def _propagate_block(
+    block: np.ndarray,
+    labels: np.ndarray,
+    adjacency: np.ndarray,
+    indptr: np.ndarray,
+    degrees: np.ndarray,
+    n: int,
+    rng,
+) -> int:
+    """Resolve one conflict-free block in place; returns #label changes."""
+    lengths = degrees[block]
+    offsets = np.zeros(block.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    flat = np.arange(int(lengths.sum()), dtype=np.int64)
+    flat += np.repeat(indptr[block] - offsets, lengths)
+    neighbor_labels = labels[adjacency[flat]]
+    segment = np.repeat(np.arange(block.shape[0], dtype=np.int64), lengths)
+
+    # (segment, label) runs: counts plus first-occurrence order (the stable
+    # sort preserves adjacency order within a run, which is the legacy
+    # Counter's insertion order for tie enumeration).
+    key = segment * n + neighbor_labels
+    sorter = np.argsort(key, kind="stable")
+    sorted_key = key[sorter]
+    run_start_mask = np.empty(sorted_key.shape[0], dtype=bool)
+    run_start_mask[0] = True
+    run_start_mask[1:] = sorted_key[1:] != sorted_key[:-1]
+    run_starts = np.nonzero(run_start_mask)[0]
+    run_counts = np.diff(np.append(run_starts, sorted_key.shape[0]))
+    run_label = sorted_key[run_starts] % n
+    run_segment = sorted_key[run_starts] // n
+    run_first = sorter[run_starts]  # global first-occurrence rank
+
+    # Per-segment best count (every segment has >= 1 run).
+    seg_start_mask = np.empty(run_segment.shape[0], dtype=bool)
+    seg_start_mask[0] = True
+    seg_start_mask[1:] = run_segment[1:] != run_segment[:-1]
+    seg_starts = np.nonzero(seg_start_mask)[0]
+    best_count = np.maximum.reduceat(run_counts, seg_starts)
+    tied = run_counts == np.repeat(best_count, np.diff(np.append(seg_starts, run_segment.shape[0])))
+    num_tied = np.add.reduceat(tied.astype(np.int64), seg_starts)
+
+    choice = np.empty(block.shape[0], dtype=np.int64)
+    single = num_tied == 1
+    if single.any():
+        # The unique best run per single-winner segment, via a masked max
+        # over run labels (tied runs only).
+        masked = np.where(tied, run_label, -1)
+        seg_best_label = np.maximum.reduceat(masked, seg_starts)
+        choice[single] = seg_best_label[single]
+    multi = np.nonzero(~single)[0]
+    if multi.shape[0]:
+        # Tie groups ordered by first occurrence; one batched draw per
+        # segment, in segment (= sweep-position) order like legacy.
+        tie_idx = np.nonzero(tied)[0]
+        tie_seg = run_segment[tie_idx]
+        keep = ~single[tie_seg]
+        tie_idx = tie_idx[keep]
+        tie_seg = tie_seg[keep]
+        tie_order = np.lexsort((run_first[tie_idx], tie_seg))
+        tie_idx = tie_idx[tie_order]
+        tie_seg = tie_seg[tie_order]
+        group_mask = np.empty(tie_seg.shape[0], dtype=bool)
+        group_mask[0] = True
+        group_mask[1:] = tie_seg[1:] != tie_seg[:-1]
+        group_starts = np.nonzero(group_mask)[0]
+        highs = num_tied[multi]
+        draws = rng.integers(0, highs)
+        choice[multi] = run_label[tie_idx[group_starts + draws]]
+
+    current = labels[block]
+    changed_mask = choice != current
+    labels[block] = choice
+    return int(np.count_nonzero(changed_mask))
 
 
 def partition_sizes(labels: Mapping[Node, int]) -> Dict[int, int]:

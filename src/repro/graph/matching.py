@@ -94,11 +94,64 @@ def _sequential_greedy_mask(
     return kept
 
 
+def _blocked_greedy_mask(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    capacities: np.ndarray,
+    block_size: int,
+) -> np.ndarray:
+    """Greedy scan in edge blocks: whole-block admission when it fits.
+
+    Exact for any ``block_size``: a block where every touched node has
+    enough spare capacity for all its in-block edges admits wholesale in
+    one vectorized step (the sequential scan would keep each edge — every
+    intermediate load stays strictly below its capacity); otherwise edges
+    with an already-saturated endpoint are dropped vectorized (loads only
+    grow, and rejected edges change no loads) and the residue replays the
+    exact sequential scan.  Worthwhile when capacities are loose relative
+    to block-local degree collisions — e.g. after degree-descending edge
+    grouping — and measured against :func:`_sequential_greedy_mask` by the
+    scale benchmark before being switched on anywhere.
+    """
+    m = int(edge_u.shape[0])
+    n = int(capacities.shape[0])
+    kept = np.zeros(m, dtype=bool)
+    loads = np.zeros(n, dtype=np.int64)
+    for start in range(0, m, block_size):
+        end = min(start + block_size, m)
+        block_u = edge_u[start:end]
+        block_v = edge_v[start:end]
+        in_block = np.bincount(np.concatenate((block_u, block_v)), minlength=n)
+        if np.all(in_block <= capacities - loads):
+            kept[start:end] = True
+            loads += in_block
+            continue
+        saturated = loads >= capacities
+        viable = np.nonzero(~(saturated[block_u] | saturated[block_v]))[0]
+        base = loads.tolist()
+        caps = capacities.tolist()
+        increment: Dict[int, int] = {}
+        for k in viable.tolist():
+            u = int(block_u[k])
+            v = int(block_v[k])
+            if (
+                base[u] + increment.get(u, 0) < caps[u]
+                and base[v] + increment.get(v, 0) < caps[v]
+            ):
+                kept[start + k] = True
+                increment[u] = increment.get(u, 0) + 1
+                increment[v] = increment.get(v, 0) + 1
+        for node, extra in increment.items():
+            loads[node] += extra
+    return kept
+
+
 def greedy_b_matching_ids(
     edge_u: np.ndarray,
     edge_v: np.ndarray,
     capacities: np.ndarray,
     max_rounds: int = 0,
+    block_size: int = 0,
 ) -> np.ndarray:
     """Array-native greedy maximal b-matching over integer-id edge arrays.
 
@@ -126,6 +179,12 @@ def greedy_b_matching_ids(
     scalar pass seeded with the decided-kept counts finishes the job, so
     the result is identical to the plain scan for any ``max_rounds``.
 
+    ``block_size > 0`` selects the block-admission variant instead
+    (:func:`_blocked_greedy_mask`): whole blocks of consecutive edges are
+    admitted in one vectorized step when every touched node has spare
+    capacity for all its in-block edges, with an exact sequential replay
+    on conflicted blocks.  Also identical to the plain scan.
+
     Raises :class:`GraphError` on negative capacities.
     """
     m = int(edge_u.shape[0])
@@ -137,6 +196,8 @@ def greedy_b_matching_ids(
         )
     if m == 0:
         return np.zeros(0, dtype=bool)
+    if block_size > 0:
+        return _blocked_greedy_mask(edge_u, edge_v, capacities, block_size)
     if max_rounds <= 0:
         return _sequential_greedy_mask(edge_u, edge_v, capacities)
 

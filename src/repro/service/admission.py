@@ -8,9 +8,10 @@ constraints premise, lifted to the serving layer):
   edges in and out of, so over-budget jobs *wait* instead of OOMing the
   pool;
 * a request that cannot meet its deadline with the asked-for method is
-  *degraded* down the quality ladder (CRR → BM2 → random, from
-  :mod:`repro.core.progressive`) rather than rejected — a cheaper, still
-  valid reduction with the degradation recorded in the result metadata.
+  *degraded* down the quality ladder (CRR → BM2 → sparsified BM2 →
+  random, from :mod:`repro.core.progressive`) rather than rejected — a
+  cheaper, still valid reduction with the degradation recorded in the
+  result metadata.
 
 :class:`CostModel` supplies the runtime estimates the deadline check
 needs: per-method coefficients over a crude work measure (``n·m`` for
@@ -50,6 +51,9 @@ class CostModel:
         "crr": 2e-6,
         "uds": 3e-6,
         "bm2": 4e-6,
+        # EDCS-sparsified BM2: Phase 2 repairs a bounded-degree candidate
+        # subgraph, so the per-edge constant sits below plain bm2's.
+        "bm2-sparse": 2.5e-6,
         "random": 2e-7,
         "degree-proportional": 4e-7,
     }

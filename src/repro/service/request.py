@@ -39,7 +39,7 @@ __all__ = [
 ]
 
 #: Method keys accepted by :func:`make_shedder` (lower-case).
-KNOWN_METHODS = ("crr", "bm2", "uds", "random", "degree-proportional")
+KNOWN_METHODS = ("crr", "bm2", "bm2-sparse", "uds", "random", "degree-proportional")
 
 
 def make_shedder(
@@ -47,18 +47,40 @@ def make_shedder(
     seed: Optional[int] = 0,
     engine: str = "array",
     num_sources: Optional[int] = None,
+    sparsify: Optional[str] = None,
+    sparsify_beta: Optional[int] = None,
 ) -> EdgeShedder:
     """Build the shedder for a method key.
 
     ``engine`` selects the array/legacy implementation for CRR, BM2 and UDS;
-    ``num_sources`` switches CRR/UDS to sampled betweenness.  Raises
-    :class:`ServiceError` for unknown keys.
+    ``num_sources`` switches CRR/UDS to sampled betweenness.  ``sparsify`` /
+    ``sparsify_beta`` configure BM2's EDCS candidate pruning (``bm2``
+    defaults to ``"off"``, ``bm2-sparse`` to ``"edcs"``; setting them on any
+    other method is an error).  Raises :class:`ServiceError` for unknown
+    keys.
     """
     method = method.lower()
+    if method not in ("bm2", "bm2-sparse") and (
+        sparsify is not None or sparsify_beta is not None
+    ):
+        raise ServiceError(f"sparsify options require bm2/bm2-sparse, got {method!r}")
     if method == "crr":
         return CRRShedder(seed=seed, engine=engine, num_betweenness_sources=num_sources)
     if method == "bm2":
-        return BM2Shedder(seed=seed, engine=engine)
+        return BM2Shedder(
+            seed=seed,
+            engine=engine,
+            sparsify=sparsify if sparsify is not None else "off",
+            sparsify_beta=sparsify_beta,
+        )
+    if method == "bm2-sparse":
+        # The degradation ladder's middle rung: EDCS-pruned Phase 2.
+        return BM2Shedder(
+            seed=seed,
+            engine=engine,
+            sparsify=sparsify if sparsify is not None else "edcs",
+            sparsify_beta=sparsify_beta,
+        )
     if method == "uds":
         return UDSSummarizer(
             seed=seed, engine=engine, num_betweenness_sources=num_sources

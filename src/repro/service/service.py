@@ -404,11 +404,12 @@ class SheddingService:
             from repro.shard import ShardedShedder
 
             shedder = ShardedShedder(
-                method=method,
+                method="bm2" if method == "bm2-sparse" else method,
                 num_shards=self.num_shards,
                 num_workers=self.scheduler.num_workers,
                 seed=request.seed,
                 num_betweenness_sources=request.num_sources,
+                sparsify="edcs" if method == "bm2-sparse" else "off",
             )
             metadata["num_shards"] = self.num_shards
             result = shedder.reduce(graph, request.p)
@@ -459,7 +460,7 @@ class SheddingService:
         """
         return (
             self.mode == "sharded"
-            and method in ("crr", "bm2")
+            and method in ("crr", "bm2", "bm2-sparse")
             and request.engine == "array"
         )
 

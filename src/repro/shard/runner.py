@@ -49,6 +49,7 @@ from repro.core.base import EdgeShedder, timed_phase
 from repro.core.bm2 import bm2_reduce_ids
 from repro.core.crr import crr_reduce_ids
 from repro.core.discrepancy import ArrayDegreeTracker, round_half_up
+from repro.core.sparsify import edcs_beta, prune_boundary_ids
 from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
 from repro.graph.parallel import _init_shard_worker, _pool_context, shard_worker_snapshot
@@ -89,6 +90,9 @@ def _shed_shard_view(view: CSRAdjacency, spec: Dict[str, Any]) -> Tuple[np.ndarr
             rounding=spec["rounding"],
             accept_zero_gain=spec["accept_zero_gain"],
             seed=spec["seed"],
+            sparsify=spec.get("sparsify", "off"),
+            sparsify_beta=spec.get("sparsify_beta"),
+            repair=spec.get("repair", "bucket"),
         )
     stats["seconds"] = time.perf_counter() - started
     return kept_u, kept_v, stats
@@ -141,23 +145,29 @@ def _admission_rounds(
         else:
             order = np.argsort(gains, kind="stable")
         touched = np.zeros(tracker.num_nodes, dtype=bool)
-        admitted_this_round = False
+        round_u: List[int] = []
+        round_v: List[int] = []
         for k in order.tolist():
-            if limit is not None and len(added_u) >= limit:
+            if limit is not None and len(added_u) + len(round_u) >= limit:
                 break
             u = int(batch_u[k])
             v = int(batch_v[k])
             if touched[u] or touched[v]:
                 continue
-            tracker.add_edge_ids(u, v)
             remaining[positions[k]] = False
             touched[u] = True
             touched[v] = True
-            added_u.append(u)
-            added_v.append(v)
-            admitted_this_round = True
-        if not admitted_this_round:
+            round_u.append(u)
+            round_v.append(v)
+        if not round_u:
             break
+        # Round admissions touch disjoint endpoints, so the bulk admit
+        # takes the vectorized path with the scalar loop's exact Δ order.
+        tracker.admit_edges_ids(
+            np.asarray(round_u, dtype=np.int64), np.asarray(round_v, dtype=np.int64)
+        )
+        added_u.extend(round_u)
+        added_v.extend(round_v)
     return added_u, added_v
 
 
@@ -170,6 +180,7 @@ def reconcile_ids(
     boundary_v: np.ndarray,
     stats: Dict[str, Any],
     target: Optional[int] = None,
+    sparsify_beta: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Merge per-shard keeps and reconcile boundary edges globally.
 
@@ -188,10 +199,26 @@ def reconcile_ids(
     analog of its repair phase.  Stats gain ``boundary_admitted``,
     ``boundary_filled``, ``demoted``, ``reconcile_target`` and the final
     ``tracker_delta``.
+
+    ``sparsify_beta`` opts the improving phase into EDCS-style candidate
+    pruning (:func:`repro.core.sparsify.prune_boundary_ids`): each
+    boundary edge must rank inside its endpoints' top-``β`` most-improving
+    candidates.  Admissions over the pruned subset still only lower
+    ``Δ``, so the documented ``Σ_s Δ_s + 2p|B| + 2(filled+demoted)``
+    bound is untouched.  Intended for ``target=None`` (BM2) runs — with a
+    ``target``, pruning would also shrink the fill pool.
     """
     tracker = ArrayDegreeTracker.from_csr(csr, p)
     tracker.add_edges_ids(kept_u, kept_v)
-    remaining = np.ones(boundary_u.shape[0], dtype=bool)
+    stats["boundary_candidates_pruned"] = 0
+    if sparsify_beta is not None and boundary_u.shape[0]:
+        scores = tracker.add_change_ids(boundary_u, boundary_v)
+        remaining = prune_boundary_ids(boundary_u, boundary_v, scores, sparsify_beta)
+        stats["boundary_candidates_pruned"] = int(
+            boundary_u.shape[0] - np.count_nonzero(remaining)
+        )
+    else:
+        remaining = np.ones(boundary_u.shape[0], dtype=bool)
 
     admitted_u, admitted_v = _admission_rounds(
         tracker, boundary_u, boundary_v, remaining, improving_only=True, limit=None
@@ -267,6 +294,11 @@ class ShardedShedder(EdgeShedder):
             forwarded to the CRR core (ignored for BM2).
         rounding / accept_zero_gain: forwarded to the BM2 core (ignored
             for CRR).
+        sparsify / sparsify_beta / repair: forwarded to the BM2 core
+            (``bm2`` only); ``sparsify="edcs"`` additionally prunes the
+            boundary-reconciliation candidates with the same ``β``
+            (:func:`repro.core.sparsify.prune_boundary_ids`), keeping the
+            delta bound intact.
     """
 
     name = "ShardedShedder"
@@ -284,6 +316,9 @@ class ShardedShedder(EdgeShedder):
         num_betweenness_sources: Optional[int] = None,
         rounding: str = "half_up",
         accept_zero_gain: bool = False,
+        sparsify: str = "off",
+        sparsify_beta: Optional[int] = None,
+        repair: str = "bucket",
     ) -> None:
         if method not in SHARD_METHODS:
             raise ValueError(f"method must be one of {SHARD_METHODS}, got {method!r}")
@@ -304,6 +339,14 @@ class ShardedShedder(EdgeShedder):
             raise ValueError(
                 f"importance must be 'betweenness' or 'random', got {importance!r}"
             )
+        if sparsify not in ("off", "edcs"):
+            raise ValueError(f"sparsify must be 'off' or 'edcs', got {sparsify!r}")
+        if sparsify != "off" and method != "bm2":
+            raise ValueError("sparsify requires method='bm2'")
+        if repair not in ("bucket", "heap"):
+            raise ValueError(f"repair must be 'bucket' or 'heap', got {repair!r}")
+        if sparsify_beta is not None and sparsify_beta < 1:
+            raise ValueError(f"sparsify_beta must be positive, got {sparsify_beta}")
         self.method = method
         self.num_shards = num_shards
         self.num_workers = num_workers
@@ -314,6 +357,9 @@ class ShardedShedder(EdgeShedder):
         self.num_betweenness_sources = num_betweenness_sources
         self.rounding = rounding
         self.accept_zero_gain = accept_zero_gain
+        self.sparsify = sparsify
+        self.sparsify_beta = sparsify_beta
+        self.repair = repair
         self._seed = None if seed is None else int(seed)
         self.name = f"Sharded{method.upper()}"
 
@@ -328,6 +374,9 @@ class ShardedShedder(EdgeShedder):
             "num_sources": self.num_betweenness_sources,
             "rounding": self.rounding,
             "accept_zero_gain": self.accept_zero_gain,
+            "sparsify": self.sparsify,
+            "sparsify_beta": self.sparsify_beta,
+            "repair": self.repair,
         }
 
     def _run_shards(
@@ -398,6 +447,11 @@ class ShardedShedder(EdgeShedder):
         # emergent (matched + repaired), so its reconciliation must not
         # force one — see reconcile_ids.
         target = round_half_up(p * plan.csr.num_edges) if self.method == "crr" else None
+        boundary_beta: Optional[int] = None
+        if self.method == "bm2" and self.sparsify == "edcs":
+            boundary_beta = (
+                int(self.sparsify_beta) if self.sparsify_beta is not None else edcs_beta()
+            )
         with timed_phase(stats, "reconcile_seconds"):
             kept_u, kept_v = reconcile_ids(
                 plan.csr,
@@ -408,6 +462,7 @@ class ShardedShedder(EdgeShedder):
                 plan.boundary_v,
                 stats,
                 target=target,
+                sparsify_beta=boundary_beta,
             )
 
         stats["per_shard"] = per_shard

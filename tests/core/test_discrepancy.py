@@ -209,6 +209,55 @@ class TestArrayTracker:
         with pytest.raises(EdgeNotFoundError):
             tracker.add_edges_ids(np.array([0]), np.array([4]))
 
+    def test_admit_matches_scalar_adds_bitwise(self, figure1):
+        """Distinct-endpoint admission replays scalar adds exactly (Δ order)."""
+        scalar = ArrayDegreeTracker(figure1, 0.4)
+        batch = ArrayDegreeTracker(figure1, 0.4)
+        edges = [("u1", "u7"), ("u8", "u10"), ("u9", "u11")]
+        for edge in edges:
+            scalar.add_edge(*edge)
+        ids = [self._ids(batch, u, v) for u, v in edges]
+        batch.admit_edges_ids(
+            np.array([u for u, _ in ids]), np.array([v for _, v in ids])
+        )
+        assert batch.delta == scalar.delta  # bitwise, not approx
+        np.testing.assert_array_equal(batch.dis_array(), scalar.dis_array())
+        assert batch.num_edges == scalar.num_edges
+
+    def test_admit_repeated_endpoints_falls_back_to_scalar(self, figure1):
+        """Shared endpoints in a batch still match the sequential oracle."""
+        scalar = ArrayDegreeTracker(figure1, 0.4)
+        batch = ArrayDegreeTracker(figure1, 0.4)
+        edges = [("u1", "u7"), ("u2", "u7"), ("u7", "u9")]  # u7 repeats
+        for edge in edges:
+            scalar.add_edge(*edge)
+        ids = [self._ids(batch, u, v) for u, v in edges]
+        batch.admit_edges_ids(
+            np.array([u for u, _ in ids]), np.array([v for _, v in ids])
+        )
+        assert batch.delta == scalar.delta
+        np.testing.assert_array_equal(batch.dis_array(), scalar.dis_array())
+
+    def test_admit_empty_batch_is_noop(self, triangle):
+        tracker = ArrayDegreeTracker(triangle, 0.5)
+        before = tracker.delta
+        tracker.admit_edges_ids(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert tracker.delta == before
+        assert tracker.num_edges == 0
+
+    def test_admit_validates_and_leaves_tracker_untouched(self, path5):
+        """On the vectorized (distinct-endpoint) path, a bad batch is atomic."""
+        tracker = ArrayDegreeTracker(path5, 0.5)
+        with pytest.raises(EdgeNotFoundError):
+            tracker.admit_edges_ids(np.array([0, 2]), np.array([1, 4]))  # (2,4) foreign
+        assert tracker.num_edges == 0  # nothing from the failed batch landed
+        tracker.add_edge_ids(0, 1)
+        with pytest.raises(ReductionError):
+            tracker.admit_edges_ids(np.array([1]), np.array([0]))  # already tracked
+        assert tracker.num_edges == 1
+
     def test_batched_changes_match_scalar(self, figure1):
         tracker = ArrayDegreeTracker(figure1, 0.4)
         for edge in [("u1", "u7"), ("u7", "u9"), ("u8", "u10")]:

@@ -1,0 +1,121 @@
+"""Tests for the EDCS-style candidate sparsifier primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import edcs_beta, prune_boundary_ids, prune_candidates_ids
+from repro.core.sparsify import prune_by_node_cap
+
+
+class TestEdcsBeta:
+    def test_default_epsilon(self):
+        assert edcs_beta() == 8
+
+    def test_formula(self):
+        assert edcs_beta(0.5) == 4  # max(4, ceil(2/0.5)) = max(4, 4)
+        assert edcs_beta(0.1) == 20
+        assert edcs_beta(1.0) == 4  # floor kicks in
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1, 1.5])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ValueError):
+            edcs_beta(epsilon)
+
+
+class TestPruneByNodeCap:
+    def test_keeps_top_cap_per_node(self):
+        node_ids = np.array([0, 0, 0, 1, 1], dtype=np.int64)
+        scores = np.array([1.0, 3.0, 2.0, 5.0, 4.0])
+        mask = prune_by_node_cap(node_ids, scores, cap=2)
+        # Node 0 keeps its two best (3.0, 2.0); node 1 keeps both.
+        assert mask.tolist() == [False, True, True, True, True]
+
+    def test_cap_larger_than_group_keeps_all(self):
+        node_ids = np.array([7, 7], dtype=np.int64)
+        scores = np.array([0.5, 0.25])
+        assert prune_by_node_cap(node_ids, scores, cap=10).all()
+
+    def test_ascending_keeps_smallest(self):
+        node_ids = np.array([3, 3, 3], dtype=np.int64)
+        scores = np.array([9.0, 1.0, 5.0])
+        mask = prune_by_node_cap(node_ids, scores, cap=1, descending=False)
+        assert mask.tolist() == [False, True, False]
+
+    def test_ties_break_by_position(self):
+        """Equal scores keep the earliest entries — deterministic."""
+        node_ids = np.array([2, 2, 2], dtype=np.int64)
+        scores = np.array([1.0, 1.0, 1.0])
+        mask = prune_by_node_cap(node_ids, scores, cap=2)
+        assert mask.tolist() == [True, True, False]
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert prune_by_node_cap(empty, empty.astype(float), cap=3).shape == (0,)
+
+    def test_matches_per_node_sort_oracle(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            k = int(rng.integers(1, 60))
+            node_ids = rng.integers(0, 8, size=k).astype(np.int64)
+            scores = rng.normal(size=k)
+            cap = int(rng.integers(1, 5))
+            mask = prune_by_node_cap(node_ids, scores, cap=cap)
+            for node in np.unique(node_ids):
+                idx = np.nonzero(node_ids == node)[0]
+                order = sorted(idx, key=lambda i: (-scores[i], i))
+                expected = set(order[:cap])
+                assert {int(i) for i in idx if mask[i]} == expected
+
+
+class TestPruneCandidatesIds:
+    def test_a_side_cap(self):
+        cand_a = np.array([0, 0, 0, 1], dtype=np.int64)
+        cand_b = np.array([5, 6, 7, 5], dtype=np.int64)
+        gains = np.array([3.0, 1.0, 2.0, 1.0])
+        kept = prune_candidates_ids(cand_a, cand_b, gains, beta=2)
+        assert kept.tolist() == [0, 2, 3]
+
+    def test_b_side_cap_applies_to_survivors(self):
+        # Three A-nodes all point at B-node 9; B cap of 2 drops the worst.
+        cand_a = np.array([0, 1, 2], dtype=np.int64)
+        cand_b = np.array([9, 9, 9], dtype=np.int64)
+        gains = np.array([1.0, 3.0, 2.0])
+        kept = prune_candidates_ids(cand_a, cand_b, gains, beta=5, beta_b=2)
+        assert kept.tolist() == [1, 2]
+
+    def test_kept_indices_ascending(self):
+        rng = np.random.default_rng(1)
+        cand_a = rng.integers(0, 10, size=50).astype(np.int64)
+        cand_b = rng.integers(10, 20, size=50).astype(np.int64)
+        gains = rng.normal(size=50)
+        kept = prune_candidates_ids(cand_a, cand_b, gains, beta=3)
+        assert np.all(np.diff(kept) > 0)
+
+    def test_rejects_bad_beta(self):
+        arr = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            prune_candidates_ids(arr, arr, np.array([1.0]), beta=0)
+
+
+class TestPruneBoundaryIds:
+    def test_edge_must_survive_both_endpoints(self):
+        # Node 0 has two boundary edges; cap 1 keeps only its best
+        # (most-negative change).  The dropped edge dies even though node 2
+        # would have kept it.
+        edge_u = np.array([0, 0], dtype=np.int64)
+        edge_v = np.array([1, 2], dtype=np.int64)
+        changes = np.array([-2.0, -1.0])
+        mask = prune_boundary_ids(edge_u, edge_v, changes, beta=1)
+        assert mask.tolist() == [True, False]
+
+    def test_keeps_everything_under_cap(self):
+        edge_u = np.array([0, 1], dtype=np.int64)
+        edge_v = np.array([2, 3], dtype=np.int64)
+        changes = np.array([0.5, -0.5])
+        assert prune_boundary_ids(edge_u, edge_v, changes, beta=4).all()
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert prune_boundary_ids(empty, empty, empty.astype(float), beta=2).shape == (
+            0,
+        )

@@ -117,3 +117,26 @@ class TestNMI:
         b = {i: i % 5 for i in range(40)}
         value = normalized_mutual_information(a, b)
         assert 0.0 <= value <= 1.0
+
+
+class TestLabelPropagationEngines:
+    """The CSR engine must replay the legacy per-node sweep bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_csr_matches_legacy(self, seed):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(60, 0.08, seed=seed)
+        legacy = label_propagation(g, seed=seed, engine="legacy")
+        csr = label_propagation(g, seed=seed, engine="csr")
+        assert csr == legacy
+
+    def test_csr_matches_legacy_on_blocks(self):
+        g = stochastic_block_model([20, 20], [[0.4, 0.02], [0.02, 0.4]], seed=3)
+        assert label_propagation(g, seed=5, engine="csr") == label_propagation(
+            g, seed=5, engine="legacy"
+        )
+
+    def test_unknown_engine_rejected(self, k5):
+        with pytest.raises(ValueError):
+            label_propagation(k5, seed=0, engine="numpy")
