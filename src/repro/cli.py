@@ -7,6 +7,7 @@ Subcommands::
     repro-shed progressive --dataset ca-grqc --method bm2 --ratios 0.8,0.5,0.2
     repro-shed stats       --dataset ca-grqc [--input edgelist.txt]
     repro-shed dynamic     --dataset ca-grqc --churn mixed --ops 5000
+    repro-shed session     --dataset ca-grqc --churn mixed --ops 5000 --sessions 2
     repro-shed bench       --experiment tab8 [--full]
     repro-shed submit      --dataset ca-grqc --method crr --p 0.5 --deadline 30
     repro-shed serve       --jobs jobs.json [--workers 2 --mode thread]
@@ -21,7 +22,9 @@ registry surrogate.  ``reduce``, ``evaluate``, ``stats``, ``dynamic``,
 :class:`~repro.service.SheddingService` (admission control, deadline
 degradation, artifact cache); ``serve`` drains a JSON file of requests
 through one service instance and reports per-job outcomes plus the
-service metrics snapshot.
+service metrics snapshot.  ``session`` drives scripted churn streams
+through live :mod:`repro.sessions` streaming sessions, and
+``serve --mode stream`` does the same for every job in a jobs file.
 """
 
 from __future__ import annotations
@@ -241,6 +244,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--reservoir", type=int, default=256, help="held-back edge reservoir capacity"
     )
 
+    session_parser = sub.add_parser(
+        "session", help="drive a scripted churn stream through a live session"
+    )
+    add_common(session_parser)
+    add_json(session_parser)
+    session_parser.add_argument(
+        "--churn",
+        default="mixed",
+        choices=["insert", "sliding", "mixed"],
+        help="churn workload shape (see repro.dynamic.workloads)",
+    )
+    session_parser.add_argument(
+        "--ops", type=int, default=5000, help="churn operations per session"
+    )
+    session_parser.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="concurrent sessions (each on its own copy of the graph)",
+    )
+    session_parser.add_argument(
+        "--batch",
+        type=int,
+        default=512,
+        help="client submit-chunk size (the drain quantum is batch_ops)",
+    )
+    session_parser.add_argument(
+        "--inbox", type=int, default=4096, help="per-session op inbox capacity"
+    )
+    session_parser.add_argument(
+        "--shed-watermark",
+        type=float,
+        default=0.75,
+        help="inbox fill fraction at which inserts shed",
+    )
+    session_parser.add_argument(
+        "--apply-watermark",
+        type=float,
+        default=0.5,
+        help="fill fraction at which backpressure releases (hysteresis)",
+    )
+    session_parser.add_argument(
+        "--drift-ratio",
+        type=float,
+        default=1.0,
+        help="rebuild trigger as a multiple of the Theorem-2 envelope",
+    )
+    session_parser.add_argument(
+        "--reservoir", type=int, default=256, help="held-back edge reservoir capacity"
+    )
+    session_parser.add_argument(
+        "--edge-budget",
+        type=int,
+        default=None,
+        help="shared resident-edge budget across sessions (default: service default)",
+    )
+    session_parser.add_argument(
+        "--workers", type=int, default=2, help="manager drain workers"
+    )
+
     bench_parser = sub.add_parser("bench", help="run a paper table/figure experiment")
     bench_parser.add_argument(
         "--experiment", required=True, choices=sorted(ALL_EXPERIMENTS)
@@ -256,9 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--mode",
             default="inline",
-            choices=["inline", "thread", "process", "sharded"],
+            choices=["inline", "thread", "process", "sharded", "stream"],
             help="execution mode (inline is deterministic and single-threaded; "
-            "sharded partitions crr/bm2 jobs across processes)",
+            "sharded partitions crr/bm2 jobs across processes; stream drives "
+            "each serve job as a live churn session — serve only)",
         )
         p.add_argument(
             "--shards",
@@ -545,9 +609,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.dynamic import DriftMonitor, IncrementalShedder, generate_workload
+    from repro.service.metrics import (
+        Histogram,
+        OP_LATENCY_BOUNDS,
+        latency_us_summary,
+    )
 
     graph = _load_graph(args)
     shedder = _make_shedder(args.method, args.seed, args.sources)
@@ -567,7 +634,10 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             f"delta={seed_delta:.1f}"
         )
     latencies = maintainer.replay(ops, collect_latencies=True)
-    micros = np.asarray(latencies) * 1e6
+    op_hist = Histogram("op_seconds", OP_LATENCY_BOUNDS)
+    for latency in latencies:
+        op_hist.observe(latency)
+    latency_us = latency_us_summary(op_hist)
     live_delta = maintainer.delta
     stats = maintainer.stats
     offline = _make_shedder(args.method, args.seed, args.sources)
@@ -592,12 +662,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
                     "envelope": envelope,
                 },
                 "churn": dict(stats),
-                "latency_us": {
-                    "p50": float(np.percentile(micros, 50)),
-                    "p90": float(np.percentile(micros, 90)),
-                    "p99": float(np.percentile(micros, 99)),
-                    "max": float(micros.max()),
-                },
+                "latency_us": latency_us,
             }
         )
         return 0
@@ -608,10 +673,10 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     )
     print(
         "per-op latency: "
-        f"p50={np.percentile(micros, 50):.1f}us "
-        f"p90={np.percentile(micros, 90):.1f}us "
-        f"p99={np.percentile(micros, 99):.1f}us "
-        f"max={micros.max():.1f}us"
+        f"p50={latency_us['p50']:.1f}us "
+        f"p90={latency_us['p90']:.1f}us "
+        f"p99={latency_us['p99']:.1f}us "
+        f"max={latency_us['max']:.1f}us"
     )
     print(
         f"admitted={stats['admitted']} rejected={stats['rejected']} "
@@ -626,6 +691,140 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _drive_stream(session, ops: List[Any], batch: int) -> Dict[str, int]:
+    """Submit ``ops`` in client-side chunks, then wait for full drain.
+
+    Backpressure is surfaced, not retried: shed/rejected ops are counted
+    in the returned dict (and in the session's own telemetry).  A session
+    that dies mid-stream is reported as failed rather than raising out of
+    the driver, so sibling sessions keep running.
+    """
+    import asyncio
+
+    from repro.errors import SessionError
+
+    counts = {"shed": 0, "rejected": 0}
+    try:
+        for start in range(0, len(ops), batch):
+            receipt = session.submit(ops[start : start + batch])
+            counts["shed"] += receipt.shed
+            counts["rejected"] += receipt.rejected
+            # Yield so the manager's workers drain between submissions.
+            await asyncio.sleep(0)
+        await session.flush()
+    except SessionError:
+        pass  # session.failed carries the reason into telemetry
+    return counts
+
+
+def _print_session_summary(telemetry: Dict[str, Any]) -> None:
+    ops = telemetry["ops"]
+    latency = telemetry["latency_us"]
+    backpressure = telemetry["backpressure"]
+    drift = telemetry["drift"]
+    label = telemetry["label"] or telemetry["session_id"]
+    status = f"failed: {telemetry['failed']}" if telemetry["failed"] else "ok"
+    print(
+        f"{telemetry['session_id']} [{label}] {status}: "
+        f"applied={ops['applied']} "
+        f"shed={ops['shed_backpressure'] + ops['shed_budget']} "
+        f"rejected={ops['rejected']} stale={ops['skipped_stale']} "
+        f"rebuilds={drift['rebuilds']}"
+    )
+    print(
+        f"  latency p50={latency['p50']:.1f}us p99={latency['p99']:.1f}us  "
+        f"throughput={telemetry['throughput_ops_per_s']:.0f} ops/s  "
+        f"backpressure={backpressure['state']} "
+        f"(transitions={backpressure['transitions']})"
+    )
+    if "delta" in drift:
+        print(
+            f"  delta live={drift['delta']:.1f} "
+            f"(Theorem-2 envelope {drift['envelope']:.1f})"
+        )
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.dynamic import generate_workload
+    from repro.errors import SessionError
+    from repro.graph.io import graph_from_payload, graph_to_payload
+    from repro.service.service import DEFAULT_EDGE_BUDGET
+    from repro.sessions import SessionConfig, SessionManager
+
+    if args.sessions < 1:
+        raise SystemExit(f"--sessions must be >= 1, got {args.sessions}")
+    if args.batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {args.batch}")
+    base = _load_graph(args)
+    config = SessionConfig(
+        p=args.p,
+        method=args.method,
+        seed=args.seed,
+        drift_ratio=args.drift_ratio,
+        reservoir_size=args.reservoir,
+        inbox_capacity=args.inbox,
+        shed_watermark=args.shed_watermark,
+        apply_watermark=args.apply_watermark,
+    )
+
+    async def run() -> Dict[str, Any]:
+        async with SessionManager(
+            max_resident_edges=args.edge_budget or DEFAULT_EDGE_BUDGET,
+            num_workers=args.workers,
+        ) as manager:
+            payload = graph_to_payload(base)
+            opened = []
+            for index in range(args.sessions):
+                # Each session owns its graph; the workload seed varies so
+                # concurrent sessions exercise distinct churn streams.
+                graph = graph_from_payload(payload)
+                ops = generate_workload(
+                    args.churn, graph, args.ops, seed=args.seed + index
+                )
+                session = await manager.open(config=config, graph=graph)
+                opened.append((session, ops))
+            results = await asyncio.gather(
+                *(_drive_stream(session, ops, args.batch) for session, ops in opened)
+            )
+            summaries = []
+            for (session, _), counts in zip(opened, results):
+                telemetry = await manager.close_session(session)
+                telemetry["submit"] = counts
+                summaries.append(telemetry)
+            return {"manager": manager.telemetry(), "sessions": summaries}
+
+    try:
+        report = asyncio.run(run())
+    except SessionError as error:
+        raise SystemExit(str(error)) from None
+    failed = sum(1 for t in report["sessions"] if t["failed"])
+    if args.json:
+        _emit_json(
+            {
+                "seed": {"nodes": base.num_nodes, "edges": base.num_edges},
+                "sessions": report["sessions"],
+                "budget": report["manager"]["budget"],
+                "failed": failed,
+            }
+        )
+        return 0 if failed == 0 else 1
+    print(
+        f"{args.sessions} session(s) on {base.num_nodes} nodes / "
+        f"{base.num_edges} edges, p={args.p} method={args.method} "
+        f"churn={args.churn} ops={args.ops}"
+    )
+    for telemetry in report["sessions"]:
+        _print_session_summary(telemetry)
+    budget = report["manager"]["budget"]
+    print(
+        f"budget: {budget['in_use_edges']}/{budget['capacity_edges']} "
+        f"resident edges in use after close"
+    )
+    return 0 if failed == 0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     runner = ALL_EXPERIMENTS[args.experiment]
     report = runner(quick=not args.full, seed=args.seed)
@@ -637,6 +836,8 @@ def _make_service(args: argparse.Namespace):
     from repro.service import SheddingService
     from repro.service.service import DEFAULT_EDGE_BUDGET
 
+    if args.mode == "stream":
+        raise SystemExit("--mode stream applies to `serve` only")
     return SheddingService(
         max_resident_edges=args.edge_budget or DEFAULT_EDGE_BUDGET,
         num_workers=args.workers,
@@ -671,9 +872,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if result.status.value == "completed" else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ReductionRequest
+def _spec_graph_ref(spec: Dict[str, Any]) -> str:
+    """The service ``graph_ref`` for one jobs-file entry."""
+    if "graph_ref" in spec:
+        return spec["graph_ref"]
+    if "input" in spec:
+        return f"file:{spec['input']}"
+    dataset = spec.get("dataset", "ca-grqc")
+    scale = spec.get("scale")
+    if scale is not None:
+        return f"dataset:{dataset}:{scale:g}"
+    return f"dataset:{dataset}"
 
+
+def _load_job_specs(args: argparse.Namespace) -> List[Dict[str, Any]]:
     try:
         with open(args.jobs, "r", encoding="utf-8") as handle:
             specs = json.load(handle)
@@ -681,19 +893,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"could not read jobs file {args.jobs!r}: {error}")
     if not isinstance(specs, list):
         raise SystemExit(f"jobs file {args.jobs!r} must hold a JSON list")
-
-    requests = []
     for index, spec in enumerate(specs):
         if not isinstance(spec, dict) or "p" not in spec:
             raise SystemExit(f"job #{index} must be an object with at least a 'p' key")
-        if "graph_ref" in spec:
-            ref = spec["graph_ref"]
-        elif "input" in spec:
-            ref = f"file:{spec['input']}"
-        else:
-            dataset = spec.get("dataset", "ca-grqc")
-            scale = spec.get("scale")
-            ref = f"dataset:{dataset}:{scale:g}" if scale is not None else f"dataset:{dataset}"
+    return specs
+
+
+def _cmd_serve_stream(args: argparse.Namespace, specs: List[Dict[str, Any]]) -> int:
+    """``serve --mode stream``: each job is a live churn session.
+
+    Job objects reuse the one-shot grammar (``p``/``method``/``seed``/
+    ``graph_ref``/``input``/``dataset``+``scale``/``label``) plus the
+    stream-only keys ``churn`` (workload shape), ``ops`` (churn length)
+    and ``batch`` (client submit-chunk size).
+    """
+    import asyncio
+
+    from repro.dynamic import generate_workload
+    from repro.errors import SessionError
+    from repro.service.service import DEFAULT_EDGE_BUDGET
+    from repro.sessions import SessionConfig, SessionManager
+
+    jobs = []
+    for index, spec in enumerate(specs):
+        jobs.append(
+            {
+                "ref": _spec_graph_ref(spec),
+                "config": SessionConfig(
+                    p=float(spec["p"]),
+                    method=spec.get("method", "bm2"),
+                    seed=int(spec.get("seed", args.seed)),
+                    label=spec.get("label", f"job-{index}"),
+                ),
+                "churn": spec.get("churn", "mixed"),
+                "ops": int(spec.get("ops", 2000)),
+                "batch": int(spec.get("batch", 512)),
+            }
+        )
+
+    async def run() -> List[Dict[str, Any]]:
+        async with SessionManager(
+            max_resident_edges=args.edge_budget or DEFAULT_EDGE_BUDGET,
+            num_workers=args.workers,
+        ) as manager:
+
+            async def one(job: Dict[str, Any]) -> Dict[str, Any]:
+                config = job["config"]
+                try:
+                    session = await manager.open(config=config, graph_ref=job["ref"])
+                except SessionError as error:
+                    return {
+                        "label": config.label,
+                        "failed": str(error),
+                        "graph_ref": job["ref"],
+                    }
+                ops = generate_workload(
+                    job["churn"], session.shedder.graph, job["ops"], seed=config.seed
+                )
+                counts = await _drive_stream(session, ops, job["batch"])
+                telemetry = await manager.close_session(session)
+                telemetry["submit"] = counts
+                telemetry["graph_ref"] = job["ref"]
+                return telemetry
+
+            return list(await asyncio.gather(*(one(job) for job in jobs)))
+
+    results = asyncio.run(run())
+    failed = sum(1 for telemetry in results if telemetry["failed"])
+    if args.json:
+        _emit_json({"mode": "stream", "jobs": results, "failed": failed})
+        return 0 if failed == 0 else 1
+    for telemetry in results:
+        if "session_id" not in telemetry:
+            print(f"[{telemetry['label']}] open failed: {telemetry['failed']}")
+            continue
+        _print_session_summary(telemetry)
+    print(f"served {len(results)} streaming jobs ({failed} failed)")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReductionRequest
+
+    specs = _load_job_specs(args)
+    if args.mode == "stream":
+        return _cmd_serve_stream(args, specs)
+
+    requests = []
+    for index, spec in enumerate(specs):
+        ref = _spec_graph_ref(spec)
         requests.append(
             ReductionRequest(
                 p=float(spec["p"]),
@@ -758,6 +1046,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "dynamic":
         return _cmd_dynamic(args)
+    if args.command == "session":
+        return _cmd_session(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "submit":

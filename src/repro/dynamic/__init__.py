@@ -17,7 +17,7 @@ division of labour:
 """
 
 from repro.dynamic.drift import DriftDecision, DriftMonitor
-from repro.dynamic.maintainer import ChurnOp, IncrementalShedder
+from repro.dynamic.maintainer import BatchReport, ChurnOp, IncrementalShedder
 from repro.dynamic.repair import LocalRepairer, RepairConfig
 from repro.dynamic.tracker import DynamicDegreeTracker
 from repro.dynamic.workloads import (
@@ -29,6 +29,7 @@ from repro.dynamic.workloads import (
 )
 
 __all__ = [
+    "BatchReport",
     "ChurnOp",
     "DriftDecision",
     "DriftMonitor",

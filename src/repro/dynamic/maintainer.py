@@ -34,6 +34,7 @@ tracked state.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.base import EdgeShedder, validate_ratio
@@ -46,10 +47,30 @@ from repro.graph.graph import Graph, Node
 from repro.rng import RandomState, ensure_rng
 from repro.streaming.shedder import EdgeReservoir
 
-__all__ = ["IncrementalShedder", "ChurnOp"]
+__all__ = ["BatchReport", "IncrementalShedder", "ChurnOp"]
 
 #: One churn operation: ``("insert" | "delete", u, v)``.
 ChurnOp = Tuple[str, Node, Node]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one :meth:`IncrementalShedder.apply_ops` batch.
+
+    Attributes:
+        applied: ops that mutated the maintainer (inserts + deletes).
+        skipped: ops dropped by ``skip_invalid`` (stale deletes, duplicate
+            inserts, self-loops) — always 0 in strict mode.
+        rebuilds: drift-triggered full rebuilds performed inside the batch.
+        decision: the drift verdict after the batch's *last applied* op
+            (``None`` for an empty or fully-skipped batch), matching what
+            :meth:`IncrementalShedder.apply` would have returned for it.
+    """
+
+    applied: int
+    skipped: int
+    rebuilds: int
+    decision: Optional[DriftDecision]
 
 
 class IncrementalShedder:
@@ -263,6 +284,296 @@ class IncrementalShedder:
             self.apply(op)
             latencies.append(time.perf_counter() - start)
         return latencies
+
+    def apply_ops(
+        self, ops: Iterable[ChurnOp], *, skip_invalid: bool = False
+    ) -> BatchReport:
+        """Apply a batch of churn ops; bit-identical to the per-op loop.
+
+        Semantically equivalent to ``for op in ops: self.apply(op)`` — the
+        property suite pins G, G', Δ, stats, reservoir and drift-monitor
+        state equal between the two — but the per-op Python overhead is
+        amortized: the tracker arithmetic is inlined on native scalars
+        (float64 math is the same IEEE double either way), the graphs and
+        arrays are hoisted into locals, stats are buffered, the version
+        handshake runs once per batch instead of once per op, and the drift
+        monitor is consulted through the allocation-free
+        :meth:`~repro.dynamic.DriftMonitor.observe_decide` path.
+
+        Args:
+            ops: iterable of ``("insert" | "delete", u, v)`` tuples.
+            skip_invalid: when ``True``, ops that cannot apply to the
+                *current* graph — self-loop inserts, inserts of existing
+                edges, deletes of absent edges — are counted and skipped
+                instead of raising.  The session drain loop relies on this
+                to absorb deletes of edges whose insert was shed under
+                backpressure.  Malformed kinds still raise: staleness is a
+                stream property, an unknown op kind is a caller bug.
+
+        In strict mode (default) the first invalid op raises exactly what
+        :meth:`apply` would; ops already applied stay applied and their
+        stats are flushed, matching a per-op loop that died at the same op.
+        """
+        self._check_versions()
+        graph = self._graph
+        adj = graph._adj
+        order = graph._order
+        tracker = self._tracker
+        index_of = tracker._index_of
+        ensure_node = tracker.ensure_node
+        deg = tracker._deg
+        cur = tracker._current
+        dis = tracker._dis
+        p = tracker._p
+        approx = tracker._approx_delta
+        reduced = self._reduced
+        reduced_adj = reduced._adj
+        repairer = self._repairer
+        repair = repairer.repair if repairer is not None else None
+        monitor = self._monitor
+        drift_ratio = monitor.drift_ratio
+        hysteresis = monitor.hysteresis
+        cooldown = monitor.cooldown_ops
+        one_minus_p = 1.0 - monitor._p
+        reservoir_offer = self._reservoir.offer
+        reservoir_discard = self._reservoir.discard
+        # Graph and monitor counters mirrored into locals for the loop;
+        # flushed back before every rebuild (which reads them through the
+        # public surface) and in the finally block.  The graph's CSR cache
+        # needs no explicit invalidation: it is version-checked on read,
+        # and the version counter here advances exactly as Graph's own
+        # mutators would.
+        m = graph._num_edges
+        gversion = graph._version
+        next_order = graph._next_order
+        ops_since = monitor._ops_since_rebuild
+        armed = monitor._armed
+        applied = skipped = ops_count = 0
+        inserts = deletes = admitted = rejected = evicted = 0
+        demoted = promoted = swapped = rebuild_count = 0
+        last: Optional[Tuple[float, float, float, bool, bool]] = None
+        try:
+            for kind, u, v in ops:
+                if kind == "insert":
+                    if u == v:
+                        if skip_invalid:
+                            skipped += 1
+                            continue
+                        raise SelfLoopError(u)
+                    adj_u = adj.get(u)
+                    if adj_u is not None and v in adj_u:
+                        if skip_invalid:
+                            skipped += 1
+                            continue
+                        raise ReductionError(
+                            f"edge ({u!r}, {v!r}) already in the graph"
+                        )
+                    # Id assignment mirrors insert(): u first, then v, before
+                    # the graph mutation.  ensure_node may grow (replace) the
+                    # arrays — re-hoist when it does.
+                    tu = index_of.get(u)
+                    if tu is None:
+                        tu = ensure_node(u)
+                        if tracker._deg is not deg:
+                            deg, cur, dis = tracker._deg, tracker._current, tracker._dis
+                    tv = index_of.get(v)
+                    if tv is None:
+                        tv = ensure_node(v)
+                        if tracker._deg is not deg:
+                            deg, cur, dis = tracker._deg, tracker._current, tracker._dis
+                    # Graph.add_edge inlined (validity already established);
+                    # node creation mirrors add_node(u) then add_node(v).
+                    if adj_u is None:
+                        adj[u] = adj_u = {}
+                        order[u] = next_order
+                        next_order += 1
+                        gversion += 1
+                    adj_v = adj.get(v)
+                    if adj_v is None:
+                        adj[v] = adj_v = {}
+                        order[v] = next_order
+                        next_order += 1
+                        gversion += 1
+                    adj_u[v] = None
+                    adj_v[u] = None
+                    m += 1
+                    gversion += 1
+                    if u not in reduced_adj:
+                        reduced.add_node(u)
+                    if v not in reduced_adj:
+                        reduced.add_node(v)
+                    du = deg[tu].item()
+                    dv = deg[tv].item()
+                    cap_u = int(p * du + 0.5)
+                    cap_v = int(p * dv + 0.5)
+                    du += 1
+                    dv += 1
+                    deg[tu] = du
+                    deg[tv] = dv
+                    # tracker.graph_edge_added's _retouch, on native scalars.
+                    approx = approx - abs(dis[tu].item()) - abs(dis[tv].item())
+                    cu = cur[tu].item()
+                    cv = cur[tv].item()
+                    dis_u = cu - p * du
+                    dis_v = cv - p * dv
+                    dis[tu] = dis_u
+                    dis[tv] = dis_v
+                    approx = approx + abs(dis_u) + abs(dis_v)
+                    new_cap_u = int(p * du + 0.5)
+                    new_cap_v = int(p * dv + 0.5)
+                    if new_cap_u > cu and new_cap_v > cv:
+                        reduced.add_edge(u, v)
+                        # tracker.kept_edge_added's _retouch.
+                        cu += 1
+                        cv += 1
+                        cur[tu] = cu
+                        cur[tv] = cv
+                        approx = approx - abs(dis_u) - abs(dis_v)
+                        dis_u = cu - p * du
+                        dis_v = cv - p * dv
+                        dis[tu] = dis_u
+                        dis[tv] = dis_v
+                        approx = approx + abs(dis_u) + abs(dis_v)
+                        admitted += 1
+                        hint_u = hint_v = False
+                    else:
+                        reservoir_offer((tu, tv) if tu < tv else (tv, tu))
+                        rejected += 1
+                        hint_u = new_cap_u > cap_u
+                        hint_v = new_cap_v > cap_v
+                    inserts += 1
+                elif kind == "delete":
+                    adj_u = adj.get(u)
+                    if adj_u is None or v not in adj_u:
+                        if skip_invalid:
+                            skipped += 1
+                            continue
+                        raise EdgeNotFoundError(u, v)
+                    tu = index_of[u]
+                    tv = index_of[v]
+                    ru = reduced_adj.get(u)
+                    was_kept = ru is not None and v in ru
+                    # Graph.remove_edge inlined (existence already checked).
+                    del adj_u[v]
+                    del adj[v][u]
+                    m -= 1
+                    gversion += 1
+                    du = deg[tu].item()
+                    dv = deg[tv].item()
+                    cap_u = int(p * du + 0.5)
+                    cap_v = int(p * dv + 0.5)
+                    du -= 1
+                    dv -= 1
+                    deg[tu] = du
+                    deg[tv] = dv
+                    # tracker.graph_edge_removed's _retouch.
+                    approx = approx - abs(dis[tu].item()) - abs(dis[tv].item())
+                    cu = cur[tu].item()
+                    cv = cur[tv].item()
+                    dis_u = cu - p * du
+                    dis_v = cv - p * dv
+                    dis[tu] = dis_u
+                    dis[tv] = dis_v
+                    approx = approx + abs(dis_u) + abs(dis_v)
+                    if was_kept:
+                        reduced.remove_edge(u, v)
+                        # tracker.kept_edge_removed's _retouch.
+                        cu -= 1
+                        cv -= 1
+                        cur[tu] = cu
+                        cur[tv] = cv
+                        approx = approx - abs(dis_u) - abs(dis_v)
+                        dis_u = cu - p * du
+                        dis_v = cv - p * dv
+                        dis[tu] = dis_u
+                        dis[tv] = dis_v
+                        approx = approx + abs(dis_u) + abs(dis_v)
+                        evicted += 1
+                        hint_u = int(p * du + 0.5) == cap_u
+                        hint_v = int(p * dv + 0.5) == cap_v
+                    else:
+                        reservoir_discard((tu, tv) if tu < tv else (tv, tu))
+                        hint_u = hint_v = False
+                    deletes += 1
+                else:
+                    raise ReductionError(
+                        f"unknown churn op {kind!r} (expected 'insert' or 'delete')"
+                    )
+                # _after_op, inlined.  Repair mutates tracker state through
+                # tracker methods: publish the running Δ first, re-read after.
+                tracker._approx_delta = approx
+                if repair is not None:
+                    counts = repair((tu, tv), (hint_u, hint_v))
+                    demoted += counts["demoted"]
+                    promoted += counts["promoted"]
+                    swapped += counts["swapped"]
+                    approx = tracker._approx_delta
+                ops_count += 1
+                # DriftMonitor.observe_decide inlined.  An applied op always
+                # leaves the graph non-empty, so the zero-node envelope
+                # guard is unreachable here.
+                ops_since += 1
+                n_nodes = len(adj)
+                envelope = (0.5 + one_minus_p * m / n_nodes) * n_nodes
+                threshold = drift_ratio * envelope
+                if not armed and (
+                    approx <= hysteresis * threshold or ops_since >= cooldown
+                ):
+                    armed = True
+                do_rebuild = (
+                    armed and approx > threshold and ops_since >= cooldown
+                )
+                last = (approx, envelope, threshold, do_rebuild, armed)
+                if do_rebuild:
+                    graph._num_edges = m
+                    graph._version = gversion
+                    graph._next_order = next_order
+                    monitor._ops_since_rebuild = ops_since
+                    monitor._armed = armed
+                    self.rebuild()  # bumps stats["rebuilds"], syncs versions
+                    rebuild_count += 1
+                    reduced = self._reduced
+                    reduced_adj = reduced._adj
+                    approx = tracker._approx_delta
+                    ops_since = monitor._ops_since_rebuild
+                    armed = monitor._armed
+                applied += 1
+        finally:
+            # No approx write-back here: every op's epilogue already
+            # published it, and overwriting after a mid-repair exception
+            # would clobber the repairer's tracker-side updates.
+            graph._num_edges = m
+            graph._version = gversion
+            graph._next_order = next_order
+            monitor._ops_since_rebuild = ops_since
+            monitor._armed = armed
+            stats = self.stats
+            stats["ops"] += ops_count
+            stats["inserts"] += inserts
+            stats["deletes"] += deletes
+            stats["admitted"] += admitted
+            stats["rejected"] += rejected
+            stats["evicted"] += evicted
+            stats["demoted"] += demoted
+            stats["promoted"] += promoted
+            stats["swapped"] += swapped
+            self._sync_versions()
+        decision = None
+        if last is not None:
+            delta, envelope, threshold, do_rebuild, armed = last
+            decision = DriftDecision(
+                delta=delta,
+                envelope=envelope,
+                threshold=threshold,
+                rebuild=do_rebuild,
+                armed=armed,
+            )
+        return BatchReport(
+            applied=applied,
+            skipped=skipped,
+            rebuilds=rebuild_count,
+            decision=decision,
+        )
 
     # ------------------------------------------------------------------
     # Rebuild

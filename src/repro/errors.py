@@ -23,6 +23,7 @@ __all__ = [
     "BenchError",
     "ServiceError",
     "AdmissionError",
+    "SessionError",
 ]
 
 
@@ -93,3 +94,7 @@ class ServiceError(ReproError):
 
 class AdmissionError(ServiceError):
     """A request was refused by the service's admission controller."""
+
+
+class SessionError(ServiceError):
+    """A streaming session could not be opened, driven, or closed."""

@@ -19,7 +19,13 @@ from repro.service.admission import (
     BudgetLedger,
     CostModel,
 )
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    OP_LATENCY_BOUNDS,
+    latency_us_summary,
+)
 from repro.service.request import (
     KNOWN_METHODS,
     JobHandle,
@@ -35,7 +41,7 @@ from repro.service.scheduler import (
     QueuedJob,
     Scheduler,
 )
-from repro.service.service import SheddingService
+from repro.service.service import SheddingService, resolve_graph_ref
 from repro.service.store import (
     ArtifactKey,
     ArtifactStore,
@@ -56,6 +62,7 @@ __all__ = [
     "JobTimeoutError",
     "KNOWN_METHODS",
     "MetricsRegistry",
+    "OP_LATENCY_BOUNDS",
     "ProcessEngine",
     "QueuedJob",
     "ReductionRequest",
@@ -64,5 +71,7 @@ __all__ = [
     "ServiceResult",
     "SheddingService",
     "graph_digest",
+    "latency_us_summary",
     "make_shedder",
+    "resolve_graph_ref",
 ]

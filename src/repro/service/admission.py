@@ -156,6 +156,22 @@ class BudgetLedger:
                 )
             self._in_use += amount
 
+    def try_acquire(self, amount: int) -> bool:
+        """Take ``amount`` edges of budget iff they are free *right now*.
+
+        Non-blocking :meth:`acquire` for callers that degrade instead of
+        waiting — the streaming sessions shed inserts when a resize cannot
+        be funded, rather than stalling their drain loop on the condition
+        variable.  Returns whether the budget was taken.
+        """
+        if amount > self.capacity:
+            return False
+        with self._condition:
+            if self._in_use + amount > self.capacity:
+                return False
+            self._in_use += amount
+            return True
+
     def release(self, amount: int) -> None:
         with self._condition:
             self._in_use -= amount

@@ -15,7 +15,13 @@ import threading
 from bisect import bisect_left
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "OP_LATENCY_BOUNDS",
+    "latency_us_summary",
+]
 
 #: Default histogram bucket upper bounds, in seconds: ~100µs to 5 minutes
 #: on a log scale, which brackets everything from a cache hit to a full
@@ -24,6 +30,33 @@ DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
 )
+
+#: Bucket upper bounds for *per-op* churn latencies, in seconds: ~2µs to
+#: 100ms on a log scale.  The incremental maintainer runs at tens of
+#: microseconds per op, far below the service's request-scale default
+#: buckets, so op-latency histograms (CLI ``dynamic``, streaming
+#: sessions) need their own resolution.
+OP_LATENCY_BOUNDS: Tuple[float, ...] = (
+    2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+)
+
+
+def latency_us_summary(histogram: "Histogram") -> Dict[str, float]:
+    """p50/p90/p99/max of a seconds-valued histogram, in microseconds.
+
+    The shared rendering for per-op latency telemetry: the CLI ``dynamic``
+    subcommand and the session layer both report this shape, so their
+    numbers are directly comparable (same buckets, same conservative
+    bucket-upper-bound quantiles).
+    """
+    snap = histogram.snapshot()
+    return {
+        "p50": snap["p50"] * 1e6,
+        "p90": snap["p90"] * 1e6,
+        "p99": snap["p99"] * 1e6,
+        "max": snap["max"] * 1e6,
+    }
 
 
 class Counter:

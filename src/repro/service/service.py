@@ -51,7 +51,7 @@ from repro.service.scheduler import (
 )
 from repro.service.store import ArtifactStore
 
-__all__ = ["SheddingService"]
+__all__ = ["SheddingService", "resolve_graph_ref"]
 
 #: Default global resident-edge budget: roomy for laptop surrogates,
 #: small enough that full-size com-livejournal jobs degrade.
@@ -105,7 +105,7 @@ class SheddingService:
             runner=self._run_job, num_workers=num_workers, inline=(mode == "inline")
         )
         self._engine = ProcessEngine(num_workers) if mode == "process" else None
-        self._graph_loader = graph_loader or _default_graph_loader
+        self._graph_loader = graph_loader or resolve_graph_ref
         self._graph_cache: Dict[Any, Graph] = {}
         self._graph_cache_lock = threading.Lock()
         self._closed = False
@@ -530,8 +530,13 @@ def _variant_of(request: ReductionRequest) -> str:
     return f"sources={request.num_sources}" if request.num_sources is not None else ""
 
 
-def _default_graph_loader(ref: str, seed: int) -> Graph:
-    """Resolve ``dataset:<name>[:<scale>]`` and ``file:<path>`` refs."""
+def resolve_graph_ref(ref: str, seed: int) -> Graph:
+    """Resolve ``dataset:<name>[:<scale>]`` and ``file:<path>`` refs.
+
+    The one graph-ref grammar for every serving surface: the one-shot
+    service and the streaming sessions (:mod:`repro.sessions`) both load
+    through here, so a ref means the same graph everywhere.
+    """
     kind, _, rest = ref.partition(":")
     if kind == "dataset" and rest:
         name, _, scale_text = rest.partition(":")

@@ -1,0 +1,47 @@
+"""Streaming sessions: live edge-churn shedding as a service.
+
+The one-shot service (:mod:`repro.service`) answers "shed *this* graph
+once"; :mod:`repro.sessions` keeps the answer alive.  A client opens a
+:class:`StreamSession` on a graph (inline, or the service's
+``dataset:``/``file:`` ref grammar), streams batched insert/delete ops
+into a bounded inbox, and reads live Δ/drift telemetry while a
+:class:`SessionManager` worker pool drains every open session fairly,
+batch by batch, through :meth:`~repro.dynamic.IncrementalShedder
+.apply_ops`.
+
+The layer's three contracts:
+
+* **Determinism** — a paced session (one that never trips backpressure)
+  produces a ``G'`` bit-identical to driving the maintainer directly
+  with the same op sequence, and concurrent sessions produce exactly
+  their serial per-session results (both property-pinned).
+* **Explicit backpressure** — the inbox fill level drives an
+  ``apply`` → ``shed`` → ``reject`` state machine with hysteresis;
+  under pressure inserts are *shed* (the paper's move, applied to the
+  ingest path) and everything is counted and surfaced, never dropped
+  silently.
+* **Budget accounting** — every session holds a resident-edge charge in
+  the shared :class:`~repro.service.BudgetLedger`: acquired before its
+  seed reduction runs, resized in chunks under churn, and released in
+  full on close *and* on every failure path.
+"""
+
+from repro.sessions.manager import SessionManager
+from repro.sessions.session import (
+    APPLY,
+    REJECT,
+    SHED,
+    SessionConfig,
+    StreamSession,
+    SubmitReceipt,
+)
+
+__all__ = [
+    "APPLY",
+    "REJECT",
+    "SHED",
+    "SessionConfig",
+    "SessionManager",
+    "StreamSession",
+    "SubmitReceipt",
+]

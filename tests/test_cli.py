@@ -375,6 +375,98 @@ class TestDynamicCommand:
         assert payload["latency_us"]["p50"] <= payload["latency_us"]["p99"]
 
 
+class TestSessionCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["session"])
+        assert args.churn == "mixed"
+        assert args.ops == 5000
+        assert args.sessions == 1
+        assert args.inbox == 4096
+        assert args.shed_watermark == 0.75
+
+    def test_session_human_summary(self, capsys):
+        code = main(
+            [
+                "session",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--ops", "300",
+                "--sessions", "2",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 session(s)" in out
+        assert "applied=300" in out
+        assert "latency p50=" in out
+        assert "resident edges in use after close" in out
+
+    def test_session_json(self, capsys):
+        code = main(
+            [
+                "session",
+                "--dataset", "ca-grqc",
+                "--scale", "0.02",
+                "--ops", "200",
+                "--seed", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["failed"] == 0
+        assert len(payload["sessions"]) == 1
+        telemetry = payload["sessions"][0]
+        assert telemetry["ops"]["applied"] == 200
+        assert telemetry["backpressure"]["state"] == "apply"
+        assert payload["budget"]["in_use_edges"] == 0
+
+    def test_serve_stream_mode(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            json.dumps(
+                [
+                    {
+                        "dataset": "ca-grqc",
+                        "scale": 0.02,
+                        "p": 0.5,
+                        "churn": "mixed",
+                        "ops": 150,
+                        "label": "alpha",
+                    },
+                    {
+                        "dataset": "ca-grqc",
+                        "scale": 0.02,
+                        "p": 0.4,
+                        "churn": "sliding",
+                        "ops": 100,
+                        "label": "beta",
+                    },
+                ]
+            )
+        )
+        code = main(["serve", "--jobs", str(jobs), "--mode", "stream", "--json"])
+        assert code == 0
+        payload = _json_out(capsys)
+        assert payload["mode"] == "stream"
+        assert payload["failed"] == 0
+        assert [job["label"] for job in payload["jobs"]] == ["alpha", "beta"]
+        assert payload["jobs"][0]["ops"]["applied"] == 150
+
+    def test_submit_rejects_stream_mode(self):
+        with pytest.raises(SystemExit, match="serve"):
+            main(
+                [
+                    "submit",
+                    "--dataset", "ca-grqc",
+                    "--scale", "0.02",
+                    "--p", "0.5",
+                    "--mode", "stream",
+                ]
+            )
+
+
 class TestServiceCommands:
     def test_submit_json_reports_cache_tier(self, tmp_path, capsys):
         argv = [
