@@ -1,0 +1,167 @@
+"""Micro-benchmark: weighted (uncertain) shedding vs the unweighted engines.
+
+The weighted CRR/BM2 engines replace unit moves with probability mass:
+float64 loads in Phase 1, a weighted gain heap in Phase 2, mass-aware
+tracker updates throughout.  None of that changes the asymptotics, so
+the acceptance gate is a constant-factor bound:
+
+* hard CI floor: weighted wall-clock ≤ ``FLOOR_FACTOR`` (2x) the
+  unweighted engine on the same topology at 2k-node / ~10k-edge ER
+  (and the 10k-node profile under ``REPRO_BENCH_FULL``);
+* advisory target: ``TARGET_FACTOR`` (1.5x) warns instead of failing;
+* quality rider: on the probabilistic graph the weighted engine's
+  expected-degree distance must come in strictly below its weight-blind
+  counterpart's — speed must not be bought with the objective.
+
+Raw wall-clocks for both engines at every profile land in
+``BENCH_PR9.json`` plus a BenchReport, so ``scripts/bench_report.py``
+can chart the trajectory alongside the earlier PRs' numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchReport
+from repro.core import BM2Shedder, CRRShedder
+from repro.uncertain import (
+    WeightedBM2Shedder,
+    WeightedCRRShedder,
+    uncertain_erdos_renyi,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ACCEPT_SEED = 42
+ACCEPT_P = 0.5
+#: Hard CI floor vs advisory target for weighted/unweighted wall-clock.
+FLOOR_FACTOR, TARGET_FACTOR = 2.0, 1.5
+#: (nodes, target edges) per profile; the full profile adds 10k nodes.
+QUICK_PROFILE = (2_000, 10_000)
+FULL_PROFILE = (10_000, 50_000)
+#: CRR is swap-bound, not edge-bound; cap its sampled betweenness so the
+#: benchmark measures the weighted overhead, not exact Brandes.
+CRR_SOURCES = 64
+
+PAIRS = {
+    "bm2": (
+        lambda: BM2Shedder(seed=ACCEPT_SEED),
+        lambda: WeightedBM2Shedder(seed=ACCEPT_SEED),
+    ),
+    "crr": (
+        lambda: CRRShedder(seed=ACCEPT_SEED, num_betweenness_sources=CRR_SOURCES),
+        lambda: WeightedCRRShedder(
+            seed=ACCEPT_SEED, num_betweenness_sources=CRR_SOURCES
+        ),
+    ),
+}
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one profile's numbers into BENCH_PR9.json (order-independent)."""
+    path = REPO_ROOT / "BENCH_PR9.json"
+    data = (
+        json.loads(path.read_text(encoding="utf-8"))
+        if path.exists()
+        else {"experiment": "micro_uncertain"}
+    )
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def _profile_graph(nodes: int, edges: int):
+    density = 2 * edges / (nodes * (nodes - 1))
+    return uncertain_erdos_renyi(nodes, density, seed=ACCEPT_SEED)
+
+
+def _best_of(shedder_factory, graph, p, repeats: int = 5):
+    """Best-of-N wall-clock (noise-robust) plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        shedder = shedder_factory()
+        start = time.perf_counter()
+        result = shedder.reduce(graph, p)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("method", sorted(PAIRS))
+def test_weighted_overhead_bounded(method, quick, archive_report):
+    profiles = [QUICK_PROFILE] if quick else [QUICK_PROFILE, FULL_PROFILE]
+    blind_factory, aware_factory = PAIRS[method]
+
+    rows = []
+    for nodes, edges in profiles:
+        graph = _profile_graph(nodes, edges)
+        blind_s, blind_result = _best_of(blind_factory, graph, ACCEPT_P)
+        aware_s, aware_result = _best_of(aware_factory, graph, ACCEPT_P)
+        factor = aware_s / blind_s if blind_s > 0 else float("inf")
+        label = f"{method} {nodes}n/{graph.num_edges}e"
+
+        # Quality rider: the weighted engine must win on the objective.
+        blind_edd = blind_result.stats["expected_degree_distance"]
+        aware_edd = aware_result.stats["expected_degree_distance"]
+        assert aware_edd < blind_edd, (
+            f"{label}: weighted edd {aware_edd:.2f} not below "
+            f"weight-blind {blind_edd:.2f}"
+        )
+
+        assert factor <= FLOOR_FACTOR, (
+            f"{label}: weighted engine {factor:.2f}x unweighted, over the "
+            f"{FLOOR_FACTOR}x CI floor ({aware_s:.3f}s vs {blind_s:.3f}s)"
+        )
+        if factor > TARGET_FACTOR:
+            warnings.warn(
+                f"{label}: weighted engine {factor:.2f}x unweighted is over "
+                f"the {TARGET_FACTOR}x advisory target",
+                stacklevel=2,
+            )
+
+        rows.append([label, blind_s, aware_s, factor, blind_edd, aware_edd])
+        _record(
+            f"{method}_{nodes}n",
+            {
+                "method": method,
+                "nodes": nodes,
+                "edges": graph.num_edges,
+                "p": ACCEPT_P,
+                "seed": ACCEPT_SEED,
+                "unweighted_seconds": round(blind_s, 4),
+                "weighted_seconds": round(aware_s, 4),
+                "factor": round(factor, 3),
+                "floor_factor": FLOOR_FACTOR,
+                "target_factor": TARGET_FACTOR,
+                "unweighted_expected_degree_distance": round(blind_edd, 3),
+                "weighted_expected_degree_distance": round(aware_edd, 3),
+                "weighted_delta": round(aware_result.delta, 3),
+                "unweighted_delta": round(blind_result.delta, 3),
+            },
+        )
+
+    report = BenchReport(
+        experiment_id="micro_uncertain",
+        title=f"Weighted vs unweighted {method.upper()} (seeded probabilistic ER)",
+        headers=[
+            "profile",
+            "unweighted s",
+            "weighted s",
+            "factor",
+            "blind edd",
+            "weighted edd",
+        ],
+        rows=rows,
+        notes=[
+            f"Best-of-5 wall-clocks at p = {ACCEPT_P}, weights ~ U[0.05, 1); "
+            f"floor {FLOOR_FACTOR}x, advisory target {TARGET_FACTOR}x.",
+            "Quality rider: weighted expected-degree distance strictly below "
+            "the weight-blind engine's on every profile.",
+            f"CRR rows use {CRR_SOURCES} sampled betweenness sources.",
+        ],
+    )
+    archive_report(report)

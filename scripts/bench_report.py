@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Render the accumulated ``BENCH_PR*.json`` files into one markdown report.
+
+Each PR's micro-benchmark (``benchmarks/test_micro_*.py``) drops raw
+numbers into ``BENCH_PR<n>.json`` at the repo root.  The shapes differ per
+experiment, so this report is deliberately schema-light:
+
+* a **trajectory table** up front — one row per (PR, section) with the
+  section's headline figure (``speedup`` where the experiment measures a
+  before/after pair, ``factor`` where it bounds an overhead,
+  ``aggregate_ops_per_s`` for throughput runs);
+* a **detail section** per file listing every scalar metric as recorded,
+  with ``graph`` sub-dicts flattened to one line.
+
+Usage::
+
+    python scripts/bench_report.py                  # markdown to stdout
+    python scripts/bench_report.py --output docs/bench_report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_FILE_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def _fmt(value) -> str:
+    """Compact scalar rendering: trim float noise, keep everything else."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    if abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def _flatten_graph(graph: dict) -> str:
+    """One-line description of a section's ``graph`` sub-dict."""
+    return " ".join(f"{key}={_fmt(value)}" for key, value in graph.items())
+
+
+def _headline(section: dict) -> str:
+    """The figure a reader scans for: speedup > overhead factor > throughput."""
+    if "speedup" in section:
+        return f"{_fmt(section['speedup'])}x speedup"
+    if "factor" in section:
+        floor = section.get("floor_factor")
+        bound = f" (floor {_fmt(floor)}x)" if floor is not None else ""
+        return f"{_fmt(section['factor'])}x overhead{bound}"
+    if "aggregate_ops_per_s" in section:
+        return f"{_fmt(section['aggregate_ops_per_s'])} ops/s"
+    for key, value in section.items():
+        if key.endswith("_seconds") and isinstance(value, (int, float)):
+            return f"{key}={_fmt(value)}"
+    return "-"
+
+
+def _sections(data: dict):
+    """Yield (name, section) pairs; top-level scalars become one section."""
+    scalars = {
+        key: value
+        for key, value in data.items()
+        if key != "experiment" and not isinstance(value, (dict, list))
+    }
+    top_graph = data.get("graph")
+    if scalars:
+        section = dict(scalars)
+        if isinstance(top_graph, dict):
+            section["graph"] = top_graph
+        yield "(top level)", section
+    for key, value in data.items():
+        if key != "graph" and isinstance(value, dict):
+            yield key, value
+
+
+def _detail_lines(name: str, section: dict):
+    yield f"### `{name}`"
+    yield ""
+    graph = section.get("graph")
+    if isinstance(graph, dict):
+        yield f"- graph: {_flatten_graph(graph)}"
+    for key, value in section.items():
+        if key == "graph" or isinstance(value, (dict, list)):
+            continue
+        yield f"- {key}: {_fmt(value)}"
+    yield ""
+
+
+def render(root: Path) -> str:
+    files = sorted(
+        (
+            (int(_FILE_RE.match(path.name).group(1)), path)
+            for path in root.glob("BENCH_PR*.json")
+            if _FILE_RE.match(path.name)
+        ),
+        key=lambda pair: pair[0],
+    )
+    lines = ["# Benchmark trajectory", ""]
+    if not files:
+        lines.append(f"No BENCH_PR*.json files found under {root}.")
+        lines.append("")
+        return "\n".join(lines)
+
+    reports = []
+    for number, path in files:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            reports.append((number, path, None, f"unreadable: {exc}"))
+            continue
+        reports.append((number, path, data, None))
+
+    lines += [
+        "| PR | experiment | section | headline |",
+        "|---:|---|---|---|",
+    ]
+    for number, path, data, error in reports:
+        if error is not None:
+            lines.append(f"| {number} | `{path.name}` | - | {error} |")
+            continue
+        experiment = data.get("experiment", path.stem)
+        for name, section in _sections(data):
+            lines.append(
+                f"| {number} | {experiment} | {name} | {_headline(section)} |"
+            )
+    lines.append("")
+
+    for number, path, data, error in reports:
+        if error is not None:
+            continue
+        experiment = data.get("experiment", path.stem)
+        lines.append(f"## PR {number} — {experiment} (`{path.name}`)")
+        lines.append("")
+        for name, section in _sections(data):
+            lines.extend(_detail_lines(name, section))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding BENCH_PR*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--output",
+        default="-",
+        help="output path, or '-' for stdout (default)",
+    )
+    args = parser.parse_args(argv)
+    report = render(args.root)
+    if args.output == "-":
+        sys.stdout.write(report)
+    else:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,7 +64,13 @@ from repro.tasks import (
     ShortestPathDistanceTask,
     TaskEvaluation,
     TopKQueryTask,
+    WeightedDegreeDistributionTask,
     all_tasks,
+)
+from repro.uncertain import (
+    WeightedBM2Shedder,
+    WeightedCRRShedder,
+    expected_degree_distance,
 )
 
 __version__ = "1.0.0"
@@ -101,6 +107,10 @@ __all__ = [
     "ShardedShedder",
     "ShardPlan",
     "partition_graph",
+    # uncertain/weighted shedding
+    "WeightedCRRShedder",
+    "WeightedBM2Shedder",
+    "expected_degree_distance",
     # datasets
     "load_dataset",
     "available_datasets",
@@ -110,6 +120,7 @@ __all__ = [
     "TaskEvaluation",
     "all_tasks",
     "DegreeDistributionTask",
+    "WeightedDegreeDistributionTask",
     "ShortestPathDistanceTask",
     "BetweennessCentralityTask",
     "ClusteringCoefficientTask",

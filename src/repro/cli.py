@@ -63,6 +63,7 @@ def _make_shedder(
     sources: Optional[int],
     sparsify: Optional[str] = None,
     sparsify_beta: Optional[int] = None,
+    weighted: bool = False,
 ) -> EdgeShedder:
     from repro.service.request import make_shedder
 
@@ -73,15 +74,22 @@ def _make_shedder(
             num_sources=sources,
             sparsify=sparsify,
             sparsify_beta=sparsify_beta,
+            weighted=weighted,
         )
     except (ServiceError, ValueError) as error:
         raise SystemExit(str(error)) from None
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
+    weighted = getattr(args, "weighted", False)
+    weight_col = getattr(args, "weight_col", None)
     if args.input:
-        return read_edge_list(args.input)
-    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        if weight_col is None and weighted:
+            weight_col = 2  # the column write_edge_list emits
+        return read_edge_list(args.input, weight_col=weight_col)
+    if weight_col is not None:
+        raise SystemExit("--weight-col only applies to --input edge lists")
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed, weighted=weighted)
 
 
 def _graph_ref(args: argparse.Namespace) -> str:
@@ -113,6 +121,7 @@ def _reduction_dict(result: ReductionResult) -> Dict[str, Any]:
         "sparsify",
         "sparsify_beta",
         "phase2_candidate_edges_pruned",
+        "expected_degree_distance",
     ):
         if key in result.stats:
             payload[key] = result.stats[key]
@@ -183,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="per-node candidate cap for --sparsify edcs (default: EDCS beta)",
+    )
+    reduce_parser.add_argument(
+        "--weighted",
+        action="store_true",
+        help="probability-aware shedding (repro.uncertain): datasets get a "
+        "seeded weight field, --input files read weights from --weight-col "
+        "(default column 2), and crr/bm2 run their weighted engines",
+    )
+    reduce_parser.add_argument(
+        "--weight-col",
+        type=int,
+        default=None,
+        help="0-based column holding edge probabilities in --input "
+        "(implies nothing about the shedder; combine with --weighted)",
     )
 
     evaluate_parser = sub.add_parser("evaluate", help="reduce, then run evaluation tasks")
@@ -426,6 +449,9 @@ def _shard_stats_dict(stats: Dict[str, Any]) -> Dict[str, Any]:
 def _cmd_reduce(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     if args.shards is not None:
+        if args.weighted:
+            raise SystemExit("--weighted cannot combine with --shards "
+                             "(the sharded runner is weight-blind)")
         shedder = _make_sharded_shedder(args)
     else:
         shedder = _make_shedder(
@@ -434,6 +460,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             args.sources,
             sparsify=args.sparsify,
             sparsify_beta=args.sparsify_beta,
+            weighted=args.weighted,
         )
     result = shedder.reduce(graph, args.p)
     validation_ok = True

@@ -6,7 +6,12 @@ theoretical bounds from Theorems 1-2, and structure-blind ablation shedders.
 """
 
 from repro.core.base import EdgeShedder, ReductionResult, timed_phase, validate_ratio
-from repro.core.bm2 import BM2Shedder, bipartite_repair, bipartite_repair_ids
+from repro.core.bm2 import (
+    BM2Shedder,
+    bipartite_repair,
+    bipartite_repair_ids,
+    weighted_bipartite_repair_ids,
+)
 from repro.core.bounds import (
     bm2_average_delta_bound,
     bm2_bound_for_graph,
@@ -24,6 +29,10 @@ from repro.core.discrepancy import (
     round_half_up,
     swap_change_from_dis,
     swap_change_scalar_from_dis,
+    weighted_add_change_from_dis,
+    weighted_remove_change_from_dis,
+    weighted_swap_change_from_dis,
+    weighted_swap_change_scalar_from_dis,
 )
 from repro.core.local_shed import JaccardShedder, LocalDegreeShedder
 from repro.core.progressive import degrade_method, progressive_reduce, rescore_result
@@ -41,6 +50,7 @@ __all__ = [
     "BM2Shedder",
     "bipartite_repair",
     "bipartite_repair_ids",
+    "weighted_bipartite_repair_ids",
     "edcs_beta",
     "prune_candidates_ids",
     "prune_boundary_ids",
@@ -52,6 +62,10 @@ __all__ = [
     "remove_change_from_dis",
     "swap_change_from_dis",
     "swap_change_scalar_from_dis",
+    "weighted_add_change_from_dis",
+    "weighted_remove_change_from_dis",
+    "weighted_swap_change_from_dis",
+    "weighted_swap_change_scalar_from_dis",
     "crr_average_delta_bound",
     "bm2_average_delta_bound",
     "crr_bound_for_graph",

@@ -114,6 +114,15 @@ class EdgeShedder(ABC):
         # Score Δ against the original; import here to avoid a module cycle.
         from repro.core.discrepancy import compute_delta
 
+        if graph.is_weighted:
+            # Weighted originals additionally get the expected-degree
+            # distance Δ_E, so weight-aware and weight-blind methods can be
+            # compared on the uncertain-graph objective from the same stats.
+            from repro.uncertain.metrics import expected_degree_distance
+
+            stats["expected_degree_distance"] = expected_degree_distance(
+                graph, reduced, p
+            )
         return ReductionResult(
             method=self.name,
             original=graph,

@@ -43,7 +43,11 @@ from repro.core.discrepancy import (
 from repro.core.sparsify import edcs_beta, prune_candidates_ids
 from repro.errors import ReductionError
 from repro.graph.graph import Edge, Graph, Node
-from repro.graph.matching import greedy_b_matching, greedy_b_matching_ids
+from repro.graph.matching import (
+    greedy_b_matching,
+    greedy_b_matching_ids,
+    greedy_weighted_b_matching_ids,
+)
 from repro.rng import RandomState, ensure_rng
 
 __all__ = [
@@ -51,6 +55,7 @@ __all__ = [
     "bipartite_repair",
     "bipartite_repair_ids",
     "bm2_reduce_ids",
+    "weighted_bipartite_repair_ids",
 ]
 
 #: Tolerance for float noise in gain/discrepancy comparisons.  Expected
@@ -412,6 +417,216 @@ def _bucket_repair_ids(
     )
 
 
+def _weighted_gain(da: float, db: float, w: float) -> float:
+    """Algorithm 3's edge gain generalised to an edge of probability mass ``w``.
+
+    Adding ``(a, b)`` changes ``Δ`` by ``|da+w| − |da| + |db+w| − |db|``;
+    the gain is the negation, split into the two algebraic regimes:
+
+    * **crossing** (``db + w ≥ 0``): ``b``'s discrepancy crosses zero, so
+      ``|db+w| = w − |db|`` and the gain is ``|da| + 2|db| − |da+w| − w`` —
+      the Lemma 1 shape.  At ``w = 1`` this branch always fires (group B
+      means ``|db| < 0.5 < 1``) and the expression is character-for-character
+      the unweighted heap's, so all-ones gains are bit-identical.
+    * **non-crossing** (``db + w < 0``): ``b`` stays in deficit and the
+      gain simplifies to ``|da| − |da+w| + w``.  Unreachable at ``w = 1``.
+    """
+    if db + w >= 0:
+        return _snap(abs(da) + 2 * abs(db) - abs(da + w) - w)
+    return _snap(abs(da) - abs(da + w) + w)
+
+
+def weighted_bipartite_repair_ids(
+    tracker: ArrayDegreeTracker,
+    cand_a: np.ndarray,
+    cand_b: np.ndarray,
+    accept_zero_gain: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3 over *expected-degree mass*: the uncertain-graph repair.
+
+    The lazy max-heap of :func:`bipartite_repair`, with every unit move
+    replaced by the edge's weight (:func:`_weighted_gain`).  Two behaviours
+    appear that the unit-weight algorithm cannot exhibit, both dormant at
+    all-ones weights:
+
+    * a selected edge of weight ``w < |dis(b)|`` leaves ``b`` *inside*
+      group B — ``b`` survives with a smaller deficit and its remaining
+      pool edges are re-weighted instead of retired;
+    * the Lemma 2 plateau starts at ``dis(a) ≤ −max_w`` (the largest
+      candidate weight) rather than ``−1``: below it, every incident gain
+      is independent of ``dis(a)``, so no re-weight is needed.
+
+    With all weights exactly 1.0, ``b`` always leaves group B on selection,
+    ``max_w`` is 1.0, and every gain/re-weight expression evaluates the
+    unweighted heap's arithmetic bit for bit — including heap-counter
+    consumption — so the selections and their order are identical to
+    :func:`bipartite_repair_ids`.  Requires ``tracker.weighted`` (weights
+    in ``[0, 1]``; :mod:`repro.graph.io` clamps on read).  The tracker is
+    mutated: every selected edge is added.  Returns selected ``(a_ids,
+    b_ids)`` in selection order.
+    """
+    if not tracker.weighted:
+        raise ValueError("weighted_bipartite_repair_ids requires a weighted tracker")
+    cand_a = np.asarray(cand_a, dtype=np.int64)
+    cand_b = np.asarray(cand_b, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    k = int(cand_a.shape[0])
+    if k == 0:
+        return empty, empty.copy()
+    dis = tracker.dis_array()
+    n = tracker.num_nodes
+
+    masses = tracker.edge_weights_ids(cand_a, cand_b)
+    max_w = float(masses.max())
+    # Vectorized initial gains: both `_weighted_gain` branches evaluated
+    # with its expressions and association order, selected per edge.
+    da = dis[cand_a]
+    db = dis[cand_b]
+    g_cross = np.abs(da) + 2.0 * np.abs(db)
+    g_cross -= np.abs(da + masses)
+    g_cross -= masses
+    g_non = np.abs(da) - np.abs(da + masses)
+    g_non += masses
+    gains = _snap_array(np.where(db + masses >= 0.0, g_cross, g_non))
+
+    # The per-edge heap's duplicate check covers every gain >= 0 edge.
+    eligible = np.nonzero(gains >= 0.0)[0]
+    if eligible.size:
+        keys = cand_a[eligible] * n + cand_b[eligible]
+        if np.unique(keys).shape[0] != keys.shape[0]:
+            seen: set = set()
+            for i in eligible.tolist():
+                key = (int(cand_a[i]), int(cand_b[i]))
+                if key in seen:
+                    raise ReductionError(f"duplicate candidate edge {key!r}")
+                seen.add(key)
+
+    # Rejected zero-gain edges can be excluded up front: re-weights are
+    # non-increasing (|dis(b)| only shrinks, and the crossing/non-crossing
+    # branches agree at the |dis(b)| = w boundary), so a zero-gain pool
+    # entry could only ever be deleted, never selected.
+    pool = eligible if accept_zero_gain else np.nonzero(gains > 0.0)[0]
+    if pool.size == 0:
+        return empty, empty.copy()
+
+    # Lazy-heap bookkeeping by candidate index: `cur_gain` is the single
+    # source of truth (a popped entry is live iff its gain still matches
+    # — the dict-of-weights staleness rule, array-indexed), `alive` marks
+    # pool membership, `b_alive` group-B survival.  The replay loop is
+    # scalar Python over plain lists: candidate groups per endpoint are
+    # tiny (~1 edge), where list indexing beats numpy fancy indexing.
+    cur_gain = gains.tolist()
+    ca_l = cand_a.tolist()
+    cb_l = cand_b.tolist()
+    w_l = masses.tolist()
+    alive = bytearray(k)
+    b_alive = bytearray(n)
+
+    # Incident pool edges grouped by endpoint, ascending candidate index —
+    # the `edges_by_*` insertion order.
+    by_a_node: Dict[int, List[int]] = {}
+    by_b_node: Dict[int, List[int]] = {}
+    for idx in pool.tolist():
+        alive[idx] = 1
+        b_alive[cb_l[idx]] = 1
+        by_a_node.setdefault(ca_l[idx], []).append(idx)
+        by_b_node.setdefault(cb_l[idx], []).append(idx)
+
+    heap: List[Tuple[float, int, int]] = [
+        (-cur_gain[idx], i, idx) for i, idx in enumerate(pool.tolist())
+    ]
+    heapq.heapify(heap)
+    counter = int(pool.shape[0])
+    heappop, heappush = heapq.heappop, heapq.heappush
+
+    # Scalar mirrors of the tracker state: each selection runs
+    # `add_edge_ids`'s float expressions over plain lists (bit-identical,
+    # several times faster than numpy scalar indexing), committed back in
+    # one `absorb_scalar_state` call at the end.
+    dis_l, current_l, expected_l, delta_acc = tracker.export_scalar_state()
+
+    sel_a: List[int] = []
+    sel_b: List[int] = []
+    while heap:
+        negative_w, _, idx = heappop(heap)
+        w = -negative_w
+        if not alive[idx] or cur_gain[idx] != w:
+            continue  # stale or retired entry
+        b = cb_l[idx]
+        if not b_alive[b]:
+            continue
+        if w == 0 and not accept_zero_gain:
+            alive[idx] = 0
+            continue
+        a = ca_l[idx]
+
+        sel_a.append(a)
+        sel_b.append(b)
+        alive[idx] = 0
+        w_sel = w_l[idx]
+        du, dv = dis_l[a], dis_l[b]
+        delta_acc += abs(du + w_sel) + abs(dv + w_sel) - (abs(du) + abs(dv))
+        current_l[a] += w_sel
+        current_l[b] += w_sel
+        dis_l[a] = current_l[a] - expected_l[a]
+        dis_l[b] = current_l[b] - expected_l[b]
+
+        dis_b = _snap(dis_l[b])
+        if dis_b >= 0:
+            # b crossed out of group B (the only possibility at w = 1).
+            b_alive[b] = 0
+        else:
+            # b survives in group B with a smaller deficit: re-weight its
+            # surviving pool edges (gains are non-increasing in |dis(b)|).
+            for eidx in by_b_node.get(b, ()):
+                if not alive[eidx]:
+                    continue
+                new_w = _weighted_gain(dis_l[ca_l[eidx]], dis_b, w_l[eidx])
+                if new_w > 0 or (new_w == 0 and accept_zero_gain):
+                    cur_gain[eidx] = new_w
+                    heappush(heap, (-new_w, counter, eidx))
+                    counter += 1
+                else:
+                    alive[eidx] = 0
+
+        dis_a = _snap(dis_l[a])
+        if dis_a <= -max_w:
+            # Weighted Lemma 2 zone: with dis(a) ≤ −w for every incident
+            # weight w, each gain reduces to a dis(a)-free expression.
+            continue
+        edges_a = by_a_node.get(a, ())
+        if dis_a > -0.5:
+            # a left group A: retire all its edges.
+            for eidx in edges_a:
+                alive[eidx] = 0
+            continue
+        # Deficit shrank out of the plateau: re-weight a's surviving edges.
+        for eidx in edges_a:
+            if not alive[eidx]:
+                continue
+            x = cb_l[eidx]
+            if not b_alive[x]:
+                continue
+            w_e = w_l[eidx]
+            db_x = dis_l[x]
+            if db_x + w_e >= 0:
+                new_w = _snap(abs(dis_a) + 2 * abs(db_x) - abs(w_e + dis_a) - w_e)
+            else:
+                new_w = _snap(abs(dis_a) - abs(dis_a + w_e) + w_e)
+            if new_w > 0 or (new_w == 0 and accept_zero_gain):
+                cur_gain[eidx] = new_w
+                heappush(heap, (-new_w, counter, eidx))
+                counter += 1
+            else:
+                alive[eidx] = 0
+
+    tracker.absorb_scalar_state(dis_l, current_l, delta_acc, sel_a, sel_b)
+    return (
+        np.asarray(sel_a, dtype=np.int64),
+        np.asarray(sel_b, dtype=np.int64),
+    )
+
+
 class BM2Shedder(EdgeShedder):
     """Algorithm 2: rounded b-matching plus bipartite deficit repair.
 
@@ -581,6 +796,7 @@ def bm2_reduce_ids(
     sparsify: str = "off",
     sparsify_beta: "int | None" = None,
     repair: str = "bucket",
+    weighted: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Both BM2 phases over a CSR snapshot, returning kept edge ids.
 
@@ -597,10 +813,24 @@ def bm2_reduce_ids(
     :func:`repro.core.sparsify.edcs_beta`); ``repair`` picks the
     Algorithm 3 engine (``"bucket"`` array engine / ``"heap"`` oracle) —
     candidate and selected edges stay int64 arrays end to end.
+
+    ``weighted=True`` (uncertain graphs, :mod:`repro.uncertain`) runs the
+    whole algorithm in expected-degree mass: capacities round
+    ``p·E[deg]``, Phase 1 admits edges by mass
+    (:func:`greedy_weighted_b_matching_ids`), groups come from a weighted
+    tracker's discrepancies, and Phase 2 runs the weighted repair heap
+    (:func:`weighted_bipartite_repair_ids`; ``repair`` is ignored).  With
+    all weights exactly 1.0 every stage degenerates bit-identically, so
+    the kept edge arrays equal the unweighted call's.
     """
     if sparsify not in ("off", "edcs"):
         raise ValueError(f"sparsify must be 'off' or 'edcs', got {sparsify!r}")
-    capacities = _ROUNDING_RULES_ARRAY[rounding](p * csr.degree_array())
+    if weighted:
+        capacities = _ROUNDING_RULES_ARRAY[rounding](
+            p * csr.weighted_degree_array()
+        ).astype(np.float64)
+    else:
+        capacities = _ROUNDING_RULES_ARRAY[rounding](p * csr.degree_array())
 
     with timed_phase(stats, "phase1_seconds"):
         edge_u, edge_v = csr.edge_list_ids()
@@ -613,7 +843,12 @@ def bm2_reduce_ids(
         else:
             perm = None
             scan_u, scan_v = edge_u, edge_v
-        scan_kept = greedy_b_matching_ids(scan_u, scan_v, capacities)
+        if weighted:
+            edge_w = csr.edge_weights_array()
+            scan_w = edge_w if perm is None else edge_w[perm]
+            scan_kept = greedy_weighted_b_matching_ids(scan_u, scan_v, scan_w, capacities)
+        else:
+            scan_kept = greedy_b_matching_ids(scan_u, scan_v, capacities)
         matched_u, matched_v = scan_u[scan_kept], scan_v[scan_kept]
         # Kept-mask over the *unshuffled* scan, for the candidate pass.
         if perm is None:
@@ -623,7 +858,7 @@ def bm2_reduce_ids(
             kept_mask[perm[scan_kept]] = True
 
     with timed_phase(stats, "phase2_seconds"):
-        tracker = ArrayDegreeTracker.from_csr(csr, p)
+        tracker = ArrayDegreeTracker.from_csr(csr, p, weighted=weighted)
         tracker.add_edges_ids(matched_u, matched_v)
 
         snapped = _snap_array(tracker.dis_array())
@@ -645,18 +880,39 @@ def bm2_reduce_ids(
             if total_candidates:
                 dis = tracker.dis_array()
                 da = dis[cand_a]
-                cand_gains = np.abs(da) + 2.0 * np.abs(dis[cand_b])
-                cand_gains -= np.abs(da + 1.0)
-                cand_gains -= 1.0
+                if weighted:
+                    # Vectorized :func:`_weighted_gain`: the crossing branch
+                    # mirrors the unweighted pipeline with the mass array in
+                    # place of 1.0 (all-ones → every lane crossing →
+                    # bit-identical gains).
+                    w_c = tracker.edge_weights_ids(cand_a, cand_b)
+                    db = dis[cand_b]
+                    crossing_gain = np.abs(da) + 2.0 * np.abs(db)
+                    crossing_gain -= np.abs(da + w_c)
+                    crossing_gain -= w_c
+                    cand_gains = np.where(
+                        db + w_c >= 0.0,
+                        crossing_gain,
+                        np.abs(da) - np.abs(da + w_c) + w_c,
+                    )
+                else:
+                    cand_gains = np.abs(da) + 2.0 * np.abs(dis[cand_b])
+                    cand_gains -= np.abs(da + 1.0)
+                    cand_gains -= 1.0
                 cand_gains = _snap_array(cand_gains)
                 keep = prune_candidates_ids(cand_a, cand_b, cand_gains, beta)
                 pruned = total_candidates - int(keep.shape[0])
                 cand_a = cand_a[keep]
                 cand_b = cand_b[keep]
 
-        sel_a, sel_b = bipartite_repair_ids(
-            tracker, cand_a, cand_b, accept_zero_gain=accept_zero_gain, engine=repair
-        )
+        if weighted:
+            sel_a, sel_b = weighted_bipartite_repair_ids(
+                tracker, cand_a, cand_b, accept_zero_gain=accept_zero_gain
+            )
+        else:
+            sel_a, sel_b = bipartite_repair_ids(
+                tracker, cand_a, cand_b, accept_zero_gain=accept_zero_gain, engine=repair
+            )
 
     kept_u = np.concatenate((matched_u, sel_a))
     kept_v = np.concatenate((matched_v, sel_b))
@@ -668,7 +924,7 @@ def bm2_reduce_ids(
             "group_b_size": int(np.count_nonzero(group_b)),
             "candidate_edges": total_candidates,
             "tracker_delta": tracker.delta,
-            "repair_engine": repair,
+            "repair_engine": "weighted-heap" if weighted else repair,
             "sparsify": sparsify,
             "sparsify_beta": beta,
             "phase2_candidate_edges_pruned": pruned,

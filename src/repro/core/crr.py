@@ -30,7 +30,12 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.core.base import EdgeShedder, timed_phase
-from repro.core.discrepancy import ArrayDegreeTracker, DegreeTracker, round_half_up
+from repro.core.discrepancy import (
+    ArrayDegreeTracker,
+    DegreeTracker,
+    round_half_up,
+    weighted_swap_change_from_dis,
+)
 from repro.graph.centrality import top_edge_ids_by_betweenness, top_edges_by_betweenness
 from repro.graph.graph import Edge, Graph
 from repro.rng import RandomState, ensure_rng
@@ -270,6 +275,15 @@ class CRRShedder(EdgeShedder):
         accepted = 0
         done = 0
         chunk = _MIN_CHUNK
+        weighted = tracker.weighted
+        if weighted:
+            # Pool weights are static per edge: resolve them once and mirror
+            # the swap-pop bookkeeping below, instead of a searchsorted
+            # lookup per candidate chunk.  The stored doubles are the same
+            # ones ``swap_change_ids`` would fetch, so scores are identical.
+            kept_w = tracker.edge_weights_ids(kept_u, kept_v)
+            shed_w = tracker.edge_weights_ids(shed_u, shed_v)
+            dis = tracker.dis_array()  # live view; apply_swap_ids updates it
         while done < steps:
             block = min(_DRAW_BLOCK, steps - done)
             # One broadcast call = the legacy loop's 2·block alternating
@@ -284,10 +298,15 @@ class CRRShedder(EdgeShedder):
                 out_v = kept_v[kept_idx[pos:end]]
                 in_u = shed_u[shed_idx[pos:end]]
                 in_v = shed_v[shed_idx[pos:end]]
-                accept = (
-                    tracker.swap_change_ids(out_u, out_v, in_u, in_v)
-                    < -_MIN_IMPROVEMENT
-                )
+                if weighted:
+                    change = weighted_swap_change_from_dis(
+                        dis, out_u, out_v, in_u, in_v,
+                        kept_w[kept_idx[pos:end]],
+                        shed_w[shed_idx[pos:end]],
+                    )
+                else:
+                    change = tracker.swap_change_ids(out_u, out_v, in_u, in_v)
+                accept = change < -_MIN_IMPROVEMENT
                 if not accept.any():
                     # Every decision in the chunk was made from live state.
                     pos = end
@@ -310,6 +329,11 @@ class CRRShedder(EdgeShedder):
                 kept_v[last] = iv
                 shed_u[j] = ou
                 shed_v[j] = ov
+                if weighted:
+                    w_out_edge = float(kept_w[i])
+                    kept_w[i] = kept_w[last]
+                    kept_w[last] = shed_w[j]
+                    shed_w[j] = w_out_edge
                 accepted += 1
                 pos += hit + 1
                 chunk = max(_MIN_CHUNK, chunk // 2)
@@ -383,6 +407,7 @@ def crr_rewire_ids(
     steps: int,
     rng: np.random.Generator,
     stats: Dict[str, Any],
+    weighted: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Phase 2 over a CSR snapshot: the array rewiring loop in id space.
 
@@ -390,9 +415,16 @@ def crr_rewire_ids(
     returned.  The tracker scores discrepancy against the snapshot's own
     degrees, so feeding a :class:`repro.graph.csr.CSRView` rewires a shard
     against its interior-degree expectations.
+
+    ``weighted=True`` swaps against *expected-degree mass* instead of edge
+    counts (the uncertain-graph objective, :mod:`repro.uncertain`).  The
+    loop structure, RNG consumption and pool bookkeeping are untouched —
+    only the tracker's Δ-change arithmetic changes — so with all weights
+    exactly 1.0 the accepted swap sequence is bit-identical to the
+    unweighted run.
     """
     n = csr.num_nodes
-    tracker = ArrayDegreeTracker.from_csr(csr, p)
+    tracker = ArrayDegreeTracker.from_csr(csr, p, weighted=weighted)
     tracker.add_edges_ids(kept_u, kept_v)
 
     # Shed pool = edge-scan order minus the kept set (same positions the
@@ -424,6 +456,7 @@ def crr_reduce_ids(
     steps_factor: float = 10.0,
     importance: str = "betweenness",
     num_sources: Optional[int] = None,
+    weighted: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Full CRR (rank + rewire) over a CSR snapshot, returning kept edge ids.
 
@@ -432,6 +465,11 @@ def crr_reduce_ids(
     The per-shard runner calls this on each :class:`CSRView`; calling it on
     a whole-graph snapshot reproduces ``CRRShedder(engine="array")``'s kept
     edge arrays bit for bit.
+
+    ``weighted=True`` rewires against expected-degree mass (see
+    :func:`crr_rewire_ids`); Phase 1's betweenness ranking stays purely
+    topological either way — probabilities shape the objective, not the
+    centrality signal.
     """
     target = round_half_up(p * csr.num_edges)
     if steps is None:
@@ -441,5 +479,7 @@ def crr_reduce_ids(
     with timed_phase(stats, "ranking_seconds"):
         kept_u, kept_v = crr_initial_ids(csr, target, importance, num_sources, rng)
     with timed_phase(stats, "rewiring_seconds"):
-        kept_u, kept_v = crr_rewire_ids(csr, p, kept_u, kept_v, steps, rng, stats)
+        kept_u, kept_v = crr_rewire_ids(
+            csr, p, kept_u, kept_v, steps, rng, stats, weighted=weighted
+        )
     return kept_u, kept_v

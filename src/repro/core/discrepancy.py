@@ -9,12 +9,22 @@ The paper's quality objective (Section II-A) is built from two quantities:
 Both CRR's rewiring loop and BM2's bipartite phase mutate the candidate edge
 set thousands of times, so :class:`DegreeTracker` maintains ``dis`` and ``Δ``
 incrementally: adding or removing an edge is O(1).
+
+The uncertain-graph workload (:mod:`repro.uncertain`) generalises both
+quantities to probability mass: ``dis(u) = E[deg_G'(u)] − p·E[deg_G(u)]``
+where an edge contributes its weight instead of 1.  The ``weighted_*``
+formula variants and :class:`ArrayDegreeTracker`'s ``weighted=True`` mode
+implement this with the *same* floating-point expression shapes as the
+unweighted paths (``w`` textually replacing ``1.0`` in identical
+association order), so with all weights exactly 1.0 every weighted result
+is bit-identical to the unweighted tracker's — the degeneration the
+property suite pins.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -30,6 +40,10 @@ __all__ = [
     "round_half_up",
     "swap_change_from_dis",
     "swap_change_scalar_from_dis",
+    "weighted_add_change_from_dis",
+    "weighted_remove_change_from_dis",
+    "weighted_swap_change_from_dis",
+    "weighted_swap_change_scalar_from_dis",
 ]
 
 
@@ -108,6 +122,90 @@ def swap_change_from_dis(
         for k in np.nonzero(shared)[0].tolist():
             change[k] = swap_change_scalar_from_dis(
                 dis, int(out_u[k]), int(out_v[k]), int(in_u[k]), int(in_v[k])
+            )
+    return change
+
+
+def weighted_add_change_from_dis(
+    dis: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray, weight: np.ndarray
+) -> np.ndarray:
+    """Weighted ``d_2``: adding each edge moves both endpoints by its weight.
+
+    The expression is :func:`add_change_from_dis` with ``weight`` in place
+    of ``1.0`` in the same association order, so all-ones weights produce
+    bit-identical scores.
+    """
+    du, dv = dis[edge_u], dis[edge_v]
+    return np.abs(du + weight) + np.abs(dv + weight) - (np.abs(du) + np.abs(dv))
+
+
+def weighted_remove_change_from_dis(
+    dis: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray, weight: np.ndarray
+) -> np.ndarray:
+    """Weighted ``d_1`` (Δ-change of removing each weighted edge)."""
+    du, dv = dis[edge_u], dis[edge_v]
+    return np.abs(du - weight) + np.abs(dv - weight) - (np.abs(du) + np.abs(dv))
+
+
+def weighted_swap_change_scalar_from_dis(
+    dis: np.ndarray,
+    out_u: int,
+    out_v: int,
+    in_u: int,
+    in_v: int,
+    w_out: float,
+    w_in: float,
+) -> float:
+    """Exact joint weighted swap change for one id quadruple.
+
+    With ``w_out == w_in == 1.0`` the per-node shifts equal the integer
+    shifts of :func:`swap_change_scalar_from_dis` exactly.
+    """
+    touched = {out_u, out_v, in_u, in_v}
+    shift: Dict[int, float] = dict.fromkeys(touched, 0.0)
+    shift[out_u] -= w_out
+    shift[out_v] -= w_out
+    shift[in_u] += w_in
+    shift[in_v] += w_in
+    change = 0.0
+    for node in touched:
+        before = float(dis[node])
+        change += abs(before + shift[node]) - abs(before)
+    return change
+
+
+def weighted_swap_change_from_dis(
+    dis: np.ndarray,
+    out_u: np.ndarray,
+    out_v: np.ndarray,
+    in_u: np.ndarray,
+    in_v: np.ndarray,
+    w_out: np.ndarray,
+    w_in: np.ndarray,
+) -> np.ndarray:
+    """Vectorized exact weighted swap change over batches of candidate swaps.
+
+    Mirrors :func:`swap_change_from_dis` (disjoint ``d_1 + d_2`` with an
+    exact scalar recompute at shared endpoints), with each edge moving its
+    endpoints by its own weight.
+    """
+    d_ou, d_ov = dis[out_u], dis[out_v]
+    d_iu, d_iv = dis[in_u], dis[in_v]
+    change = (
+        np.abs(d_ou - w_out)
+        + np.abs(d_ov - w_out)
+        - (np.abs(d_ou) + np.abs(d_ov))
+        + np.abs(d_iu + w_in)
+        + np.abs(d_iv + w_in)
+        - (np.abs(d_iu) + np.abs(d_iv))
+    )
+    shared = (out_u == in_u) | (out_u == in_v) | (out_v == in_u) | (out_v == in_v)
+    if shared.any():
+        for k in np.nonzero(shared)[0].tolist():
+            change[k] = weighted_swap_change_scalar_from_dis(
+                dis,
+                int(out_u[k]), int(out_v[k]), int(in_u[k]), int(in_v[k]),
+                float(w_out[k]), float(w_in[k]),
             )
     return change
 
@@ -291,16 +389,24 @@ class ArrayDegreeTracker:
     :meth:`add_edges_ids` recomputes ``Δ = Σ|dis|`` directly instead —
     bit-identical whenever every ``p·deg`` is exactly representable (e.g.
     ``p = 0.5``), and within float-association noise (≪ 1e-9) otherwise.
+
+    ``weighted=True`` switches every quantity to probability mass:
+    expectations become ``p·E[deg]`` (weighted degrees), the tracked
+    ``current`` array turns float, and each edge moves its endpoints by its
+    weight.  All expression shapes match the unweighted paths with ``w``
+    replacing ``1``, so all-ones weights degenerate bit-identically.
     """
 
-    def __init__(self, graph: Graph, p: float) -> None:
+    def __init__(self, graph: Graph, p: float, weighted: bool = False) -> None:
         if not 0.0 < p < 1.0:
             raise InvalidRatioError(p)
         self._graph = graph
-        self._bind(graph.csr(), p)
+        self._bind(graph.csr(), p, weighted)
 
     @classmethod
-    def from_csr(cls, csr: "CSRAdjacency", p: float) -> "ArrayDegreeTracker":
+    def from_csr(
+        cls, csr: "CSRAdjacency", p: float, weighted: bool = False
+    ) -> "ArrayDegreeTracker":
         """Build a tracker directly on a CSR snapshot (no :class:`Graph`).
 
         The snapshot may be a whole-graph export or a per-shard
@@ -313,18 +419,29 @@ class ArrayDegreeTracker:
             raise InvalidRatioError(p)
         tracker = cls.__new__(cls)
         tracker._graph = None
-        tracker._bind(csr, p)
+        tracker._bind(csr, p, weighted)
         return tracker
 
-    def _bind(self, csr: "CSRAdjacency", p: float) -> None:
+    def _bind(self, csr: "CSRAdjacency", p: float, weighted: bool = False) -> None:
         self._p = p
         self._csr = csr
+        self._is_weighted = bool(weighted)
         n = csr.num_nodes
         self._n = n
-        #: float64[n] — p·deg_G(u) per id (Equation 1).
-        self._expected = p * csr.degree_array()
-        #: int64[n] — tracked degree per id.
-        self._current = np.zeros(n, dtype=np.int64)
+        if weighted:
+            #: float64[n] — p·E[deg_G(u)] per id (probability-mass mode).
+            self._expected = p * csr.weighted_degree_array()
+            #: float64[n] — tracked expected degree per id.
+            self._current = np.zeros(n, dtype=np.float64)
+            #: edge key -> weight, for the scalar mutation paths (memoised
+            #: on the snapshot, shared across trackers; read-only here).
+            self._weight_of: Dict[int, float] = csr.edge_weight_map()
+        else:
+            #: float64[n] — p·deg_G(u) per id (Equation 1).
+            self._expected = p * csr.degree_array()
+            #: int64[n] — tracked degree per id.
+            self._current = np.zeros(n, dtype=np.int64)
+            self._weight_of = None
         #: float64[n] — current − expected, rewritten per touched slot.
         self._dis = self._current - self._expected
         #: tracked edges as ``min_id * n + max_id`` integer keys.
@@ -357,12 +474,19 @@ class ArrayDegreeTracker:
     def num_nodes(self) -> int:
         return self._n
 
+    @property
+    def weighted(self) -> bool:
+        """Whether this tracker scores probability mass instead of counts."""
+        return self._is_weighted
+
     def expected_degree(self, node: Node) -> float:
-        """``E(deg_G'(node)) = p · deg_G(node)``."""
+        """``E(deg_G'(node)) = p · deg_G(node)`` (mass when weighted)."""
         return float(self._expected[self._id_of(node)])
 
-    def current_degree(self, node: Node) -> int:
-        return int(self._current[self._id_of(node)])
+    def current_degree(self, node: Node):
+        """Tracked degree of ``node`` — an int, or a float mass when weighted."""
+        value = self._current[self._id_of(node)]
+        return float(value) if self._is_weighted else int(value)
 
     def dis(self, node: Node) -> float:
         """``dis(node)`` for the tracked edge set (Equation 3)."""
@@ -397,6 +521,20 @@ class ArrayDegreeTracker:
     def _edge_key(self, u: int, v: int) -> int:
         return (u * self._n + v) if u < v else (v * self._n + u)
 
+    def edge_weight_ids(self, u: int, v: int) -> float:
+        """Weight of graph edge ``(u, v)`` by CSR ids (1.0 when unweighted)."""
+        if not self._is_weighted:
+            return 1.0
+        return self._weight_of[self._edge_key(u, v)]
+
+    def edge_weights_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+        """``float64`` weights of graph edges given as id arrays."""
+        if not self._is_weighted:
+            return np.ones(int(np.asarray(edge_u).shape[0]), dtype=np.float64)
+        return self._csr.edge_weights_for(
+            np.asarray(edge_u, dtype=np.int64), np.asarray(edge_v, dtype=np.int64)
+        )
+
     # ------------------------------------------------------------------
     # Mutation (scalar, exact dict-tracker accumulation order)
     # ------------------------------------------------------------------
@@ -423,13 +561,16 @@ class ArrayDegreeTracker:
         if key in self._edge_keys:
             labels = self._csr.labels
             raise ReductionError(f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked")
+        # w is the int literal 1 when unweighted, so the float expressions
+        # below are character-for-character the dict tracker's.
+        w = self._weight_of[key] if self._is_weighted else 1
         dis = self._dis
         du, dv = float(dis[u]), float(dis[v])
-        self._delta += abs(du + 1) + abs(dv + 1) - (abs(du) + abs(dv))
+        self._delta += abs(du + w) + abs(dv + w) - (abs(du) + abs(dv))
         self._edge_keys.add(key)
         current, expected = self._current, self._expected
-        current[u] += 1
-        current[v] += 1
+        current[u] += w
+        current[v] += w
         dis[u] = current[u] - expected[u]
         dis[v] = current[v] - expected[v]
 
@@ -439,13 +580,14 @@ class ArrayDegreeTracker:
         if key not in self._edge_keys:
             labels = self._csr.labels
             raise EdgeNotFoundError(labels[u], labels[v])
+        w = self._weight_of[key] if self._is_weighted else 1
         dis = self._dis
         du, dv = float(dis[u]), float(dis[v])
-        self._delta += abs(du - 1) + abs(dv - 1) - (abs(du) + abs(dv))
+        self._delta += abs(du - w) + abs(dv - w) - (abs(du) + abs(dv))
         self._edge_keys.discard(key)
         current, expected = self._current, self._expected
-        current[u] -= 1
-        current[v] -= 1
+        current[u] -= w
+        current[v] -= w
         dis[u] = current[u] - expected[u]
         dis[v] = current[v] - expected[v]
 
@@ -483,8 +625,15 @@ class ArrayDegreeTracker:
                     labels = self._csr.labels
                     raise EdgeNotFoundError(labels[u], labels[v])
         self._edge_keys |= new_keys
-        self._current += np.bincount(edge_u, minlength=n)
-        self._current += np.bincount(edge_v, minlength=n)
+        if self._is_weighted:
+            # Every key is a validated graph edge by now, so the vectorized
+            # snapshot lookup returns the same stored doubles as the dict.
+            w = self._csr.edge_weights_for(edge_u, edge_v)
+            self._current += np.bincount(edge_u, weights=w, minlength=n)
+            self._current += np.bincount(edge_v, weights=w, minlength=n)
+        else:
+            self._current += np.bincount(edge_u, minlength=n)
+            self._current += np.bincount(edge_v, minlength=n)
         np.subtract(self._current, self._expected, out=self._dis)
         self._delta = float(np.abs(self._dis).sum())
 
@@ -524,17 +673,84 @@ class ArrayDegreeTracker:
                     raise ReductionError(
                         f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked"
                     )
-        terms = add_change_from_dis(self._dis, edge_u, edge_v)
+        if self._is_weighted:
+            # Keys are validated graph edges; the vectorized snapshot lookup
+            # returns the same stored doubles as the dict.
+            w = self._csr.edge_weights_for(edge_u, edge_v)
+            terms = weighted_add_change_from_dis(self._dis, edge_u, edge_v, w)
+        else:
+            terms = add_change_from_dis(self._dis, edge_u, edge_v)
         delta = self._delta
         for term in terms.tolist():
             delta += term
         self._delta = delta
         self._edge_keys |= key_set
         current, expected, dis = self._current, self._expected, self._dis
-        current[edge_u] += 1
-        current[edge_v] += 1
+        if self._is_weighted:
+            current[edge_u] += w
+            current[edge_v] += w
+        else:
+            current[edge_u] += 1
+            current[edge_v] += 1
         dis[edge_u] = current[edge_u] - expected[edge_u]
         dis[edge_v] = current[edge_v] - expected[edge_v]
+
+    def export_scalar_state(self) -> Tuple[List[float], List[float], List[float], float]:
+        """Python-list mirrors of ``(dis, current, expected)`` plus ``Δ``.
+
+        For scalar-heavy phases (the weighted repair heap) that interleave
+        thousands of single-edge adds with scalar ``dis`` reads: plain-list
+        arithmetic runs several times faster than numpy scalar indexing,
+        and running :meth:`add_edge_ids`'s expressions over the mirrors
+        keeps every intermediate bit-identical to the per-edge path.
+        Mutated mirrors commit back via :meth:`absorb_scalar_state`; the
+        tracker's own arrays must not be touched in between.
+        """
+        return (
+            self._dis.tolist(),
+            self._current.tolist(),
+            self._expected.tolist(),
+            self._delta,
+        )
+
+    def absorb_scalar_state(
+        self,
+        dis: List[float],
+        current: List[float],
+        delta: float,
+        added_u: List[int],
+        added_v: List[int],
+    ) -> None:
+        """Commit mirrors from :meth:`export_scalar_state` plus edges added.
+
+        ``added_u``/``added_v`` list the ids of the edges the caller added
+        to the mirrors (validated like :meth:`add_edge_ids`: each must be
+        an original-graph edge that is not already tracked).
+        """
+        n = self._n
+        keys = [
+            (u * n + v) if u < v else (v * n + u)
+            for u, v in zip(added_u, added_v)
+        ]
+        new_keys = set(keys)
+        if len(new_keys) != len(keys) or (new_keys & self._edge_keys):
+            seen: set = set(self._edge_keys)
+            for key, u, v in zip(keys, added_u, added_v):
+                if key in seen:
+                    labels = self._csr.labels
+                    raise ReductionError(
+                        f"edge ({labels[u]!r}, {labels[v]!r}) is already tracked"
+                    )
+                seen.add(key)
+        if not new_keys <= self._graph_keys:
+            for key, u, v in zip(keys, added_u, added_v):
+                if key not in self._graph_keys:
+                    labels = self._csr.labels
+                    raise EdgeNotFoundError(labels[u], labels[v])
+        self._edge_keys |= new_keys
+        self._dis[:] = dis
+        self._current[:] = current
+        self._delta = delta
 
     # ------------------------------------------------------------------
     # Hypothetical moves (no mutation)
@@ -542,15 +758,19 @@ class ArrayDegreeTracker:
 
     def add_change(self, u: Node, v: Node) -> float:
         """Change in ``Δ`` if edge ``(u, v)`` were added (paper's ``d_2``)."""
+        iu, iv = self._id_of(u), self._id_of(v)
         dis = self._dis
-        du, dv = float(dis[self._id_of(u)]), float(dis[self._id_of(v)])
-        return abs(du + 1) + abs(dv + 1) - (abs(du) + abs(dv))
+        du, dv = float(dis[iu]), float(dis[iv])
+        w = self._weight_of[self._edge_key(iu, iv)] if self._is_weighted else 1
+        return abs(du + w) + abs(dv + w) - (abs(du) + abs(dv))
 
     def remove_change(self, u: Node, v: Node) -> float:
         """Change in ``Δ`` if edge ``(u, v)`` were removed (paper's ``d_1``)."""
+        iu, iv = self._id_of(u), self._id_of(v)
         dis = self._dis
-        du, dv = float(dis[self._id_of(u)]), float(dis[self._id_of(v)])
-        return abs(du - 1) + abs(dv - 1) - (abs(du) + abs(dv))
+        du, dv = float(dis[iu]), float(dis[iv])
+        w = self._weight_of[self._edge_key(iu, iv)] if self._is_weighted else 1
+        return abs(du - w) + abs(dv - w) - (abs(du) + abs(dv))
 
     def swap_change(self, edge_out: Edge, edge_in: Edge) -> float:
         """Exact joint change in ``Δ`` for ``edge_out`` → ``edge_in``."""
@@ -561,14 +781,28 @@ class ArrayDegreeTracker:
 
     def swap_change_scalar_ids(self, out_u: int, out_v: int, in_u: int, in_v: int) -> float:
         """Exact joint swap change for one id quadruple (shared endpoints OK)."""
+        if self._is_weighted:
+            return weighted_swap_change_scalar_from_dis(
+                self._dis, out_u, out_v, in_u, in_v,
+                self._weight_of[self._edge_key(out_u, out_v)],
+                self._weight_of[self._edge_key(in_u, in_v)],
+            )
         return swap_change_scalar_from_dis(self._dis, out_u, out_v, in_u, in_v)
 
     def add_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`add_change` over endpoint id arrays."""
+        if self._is_weighted:
+            return weighted_add_change_from_dis(
+                self._dis, edge_u, edge_v, self.edge_weights_ids(edge_u, edge_v)
+            )
         return add_change_from_dis(self._dis, edge_u, edge_v)
 
     def remove_change_ids(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`remove_change` over endpoint id arrays."""
+        if self._is_weighted:
+            return weighted_remove_change_from_dis(
+                self._dis, edge_u, edge_v, self.edge_weights_ids(edge_u, edge_v)
+            )
         return remove_change_from_dis(self._dis, edge_u, edge_v)
 
     def swap_change_ids(
@@ -583,6 +817,12 @@ class ArrayDegreeTracker:
         Every entry matches :meth:`swap_change` for the same pair of edges,
         including shared-endpoint pairs (see :func:`swap_change_from_dis`).
         """
+        if self._is_weighted:
+            return weighted_swap_change_from_dis(
+                self._dis, out_u, out_v, in_u, in_v,
+                self.edge_weights_ids(out_u, out_v),
+                self.edge_weights_ids(in_u, in_v),
+            )
         return swap_change_from_dis(self._dis, out_u, out_v, in_u, in_v)
 
 

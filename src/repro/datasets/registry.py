@@ -81,15 +81,29 @@ def dataset_spec(name: str) -> SurrogateSpec:
 
 
 def load_dataset(
-    name: str, scale: Optional[float] = None, seed: RandomState = 0
+    name: str,
+    scale: Optional[float] = None,
+    seed: RandomState = 0,
+    weighted: bool = False,
 ) -> Graph:
     """Build the surrogate for ``name``.
 
     ``scale`` multiplies the paper's node count (default: the spec's
     laptop-friendly scale).  ``seed`` fixes the construction; the default
-    0 gives every caller the same graph.
+    0 gives every caller the same graph.  ``weighted=True`` attaches a
+    seeded uniform probability field to the same topology (the uncertain
+    variant, :mod:`repro.uncertain`) — the topology is identical to the
+    unweighted build for the same ``(name, scale, seed)``.
     """
     spec = dataset_spec(name)
     if scale is None:
         scale = spec.default_scale
-    return build_surrogate(spec, scale=scale, seed=seed)
+    graph = build_surrogate(spec, scale=scale, seed=seed)
+    if weighted:
+        from repro.rng import ensure_rng, spawn
+        from repro.uncertain.generators import attach_random_weights
+
+        # Weight draw on its own derived stream so the topology stays
+        # exactly the unweighted build's.
+        attach_random_weights(graph, seed=spawn(ensure_rng(seed), 1)[0])
+    return graph

@@ -77,6 +77,7 @@ from repro.graph.io import (
 from repro.graph.matching import (
     greedy_b_matching,
     greedy_b_matching_ids,
+    greedy_weighted_b_matching_ids,
     is_b_matching,
     is_maximal_b_matching,
 )
@@ -171,6 +172,7 @@ __all__ = [
     # matching
     "greedy_b_matching",
     "greedy_b_matching_ids",
+    "greedy_weighted_b_matching_ids",
     "is_b_matching",
     "is_maximal_b_matching",
     # generators

@@ -42,6 +42,9 @@ class CSRAdjacency:
             each slice (the canonical CSR form).
         labels: original node label for each integer id (insertion order).
         index_of: original node label -> integer id.
+        weights: optional ``float64[m]`` edge weights/probabilities aligned
+            with :meth:`edge_list_ids` order; ``None`` for an unweighted
+            snapshot (every existing path is untouched).
     """
 
     indptr: np.ndarray
@@ -50,6 +53,7 @@ class CSRAdjacency:
     index_of: Dict[Node, int]
     #: Lazily-built derived arrays (entry heads, undirected entry pairing).
     _derived: dict = field(default_factory=dict, repr=False, compare=False)
+    weights: Optional[np.ndarray] = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRAdjacency":
@@ -57,12 +61,14 @@ class CSRAdjacency:
         index_of = {node: i for i, node in enumerate(labels)}
         n = len(labels)
         m = graph.num_edges
+        weighted = graph.is_weighted
         if m == 0:
             return cls(
                 indptr=np.zeros(n + 1, dtype=np.int64),
                 indices=np.empty(0, dtype=np.int64),
                 labels=labels,
                 index_of=index_of,
+                weights=np.empty(0, dtype=np.float64) if weighted else None,
             )
         # One pass over the edge list, then pure array ops: lexsorting the
         # 2m half-edges by (head, tail) yields the offsets *and* the
@@ -73,6 +79,13 @@ class CSRAdjacency:
             count=2 * m,
         )
         u, v = endpoint_ids[0::2], endpoint_ids[1::2]
+        weights = None
+        if weighted:
+            weights = np.fromiter(
+                (w for _, _, w in graph.edge_weights()),
+                dtype=np.float64,
+                count=m,
+            )
         heads = np.concatenate([u, v])
         tails = np.concatenate([v, u])
         order = np.lexsort((tails, heads))
@@ -89,6 +102,7 @@ class CSRAdjacency:
             labels=labels,
             index_of=index_of,
             _derived=derived,
+            weights=weights,
         )
 
     @property
@@ -99,6 +113,11 @@ class CSRAdjacency:
     def num_edges(self) -> int:
         return int(self.indices.shape[0]) // 2
 
+    @property
+    def is_weighted(self) -> bool:
+        """Whether this snapshot carries edge weights/probabilities."""
+        return self.weights is not None
+
     def neighbors(self, node_id: int) -> np.ndarray:
         """Neighbour ids of integer node ``node_id`` (a read-only view)."""
         return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
@@ -106,6 +125,75 @@ class CSRAdjacency:
     def degree_array(self) -> np.ndarray:
         """``int64[n]`` of node degrees in id order."""
         return np.diff(self.indptr)
+
+    def edge_weights_array(self) -> np.ndarray:
+        """``float64[m]`` of edge weights in :meth:`edge_list_ids` order.
+
+        All-ones for an unweighted snapshot, so weighted consumers can be
+        written once against this accessor.
+        """
+        if self.weights is not None:
+            return self.weights
+        if "unit_weights" not in self._derived:
+            self._derived["unit_weights"] = np.ones(self.num_edges, dtype=np.float64)
+        return self._derived["unit_weights"]
+
+    def weighted_degree_array(self) -> np.ndarray:
+        """``float64[n]`` of expected degrees (incident weight mass) in id order.
+
+        Equals ``degree_array()`` cast to float for an unweighted snapshot.
+        """
+        if "weighted_degrees" not in self._derived:
+            if self.weights is None:
+                degrees = np.diff(self.indptr).astype(np.float64)
+            else:
+                edge_u, edge_v = self.edge_list_ids()
+                degrees = np.bincount(
+                    np.concatenate((edge_u, edge_v)),
+                    weights=np.concatenate((self.weights, self.weights)),
+                    minlength=self.num_nodes,
+                )
+            self._derived["weighted_degrees"] = degrees
+        return self._derived["weighted_degrees"]
+
+    def edge_weight_map(self) -> dict:
+        """``min_id * n + max_id`` edge key -> weight (memoised on the snapshot).
+
+        Built once and shared across every tracker bound to this snapshot;
+        callers must treat it as read-only.
+        """
+        if "weight_map" not in self._derived:
+            edge_u, edge_v = self.edge_list_ids()
+            keys = np.minimum(edge_u, edge_v) * self.num_nodes + np.maximum(edge_u, edge_v)
+            self._derived["weight_map"] = dict(
+                zip(keys.tolist(), self.edge_weights_array().tolist())
+            )
+        return self._derived["weight_map"]
+
+    def edge_weights_for(self, edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+        """``float64`` weights of the given edges (each must exist here).
+
+        Looks edges up by their ``min_id * n + max_id`` key against the
+        snapshot's own edge set; all-ones when unweighted.  Order of the
+        inputs is preserved in the output.
+        """
+        count = int(np.asarray(edge_u).shape[0])
+        if self.weights is None:
+            return np.ones(count, dtype=np.float64)
+        if "sorted_keys" not in self._derived:
+            own_u, own_v = self.edge_list_ids()
+            keys = np.minimum(own_u, own_v) * self.num_nodes + np.maximum(own_u, own_v)
+            order = np.argsort(keys, kind="stable")
+            self._derived["sorted_keys"] = (keys[order], self.weights[order])
+        sorted_keys, sorted_weights = self._derived["sorted_keys"]
+        query = np.minimum(edge_u, edge_v) * self.num_nodes + np.maximum(edge_u, edge_v)
+        positions = np.searchsorted(sorted_keys, query)
+        if positions.shape[0] and (
+            bool(np.any(positions >= sorted_keys.shape[0]))
+            or bool(np.any(sorted_keys[np.minimum(positions, sorted_keys.shape[0] - 1)] != query))
+        ):
+            raise GraphError("edge_weights_for: edge not in snapshot")
+        return sorted_weights[positions]
 
     def entry_heads(self) -> np.ndarray:
         """``int64[2m]`` — the head (owning row) of each CSR entry."""
@@ -228,6 +316,7 @@ class CSRAdjacency:
         interior = (local_of[edge_u] >= 0) & (local_of[edge_v] >= 0)
         u = np.ascontiguousarray(local_of[edge_u[interior]])
         v = np.ascontiguousarray(local_of[edge_v[interior]])
+        weights = None if self.weights is None else self.weights[interior]
         parent_labels = self.labels
         labels = [parent_labels[i] for i in global_ids.tolist()]
         index_of = {node: i for i, node in enumerate(labels)}
@@ -237,6 +326,7 @@ class CSRAdjacency:
                 indices=np.empty(0, dtype=np.int64),
                 labels=labels,
                 index_of=index_of,
+                weights=weights,
                 global_ids=global_ids,
             )
         # Same lexsort construction as from_graph, over the interior edges.
@@ -252,6 +342,7 @@ class CSRAdjacency:
             labels=labels,
             index_of=index_of,
             _derived={"edge_list_ids": (u, v)},
+            weights=weights,
             global_ids=global_ids,
         )
 
@@ -271,7 +362,8 @@ class CSRAdjacency:
         labels = self.labels
         heads = np.concatenate((edge_u, edge_v))
         tails = np.concatenate((edge_v, edge_u))
-        tails_sorted = tails[np.argsort(heads, kind="stable")]
+        head_order = np.argsort(heads, kind="stable")
+        tails_sorted = tails[head_order]
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(heads, minlength=n), out=offsets[1:])
         tail_labels = self.labels_array()[tails_sorted].tolist()
@@ -281,6 +373,13 @@ class CSRAdjacency:
             node: dict.fromkeys(tail_labels[start:end])
             for node, start, end in zip(labels, bounds, bounds[1:])
         }
+        if self.weights is not None:
+            edge_w = self.edge_weights_for(edge_u, edge_v)
+            half_w = np.concatenate((edge_w, edge_w))[head_order].tolist()
+            graph._weights = {
+                node: dict(zip(tail_labels[start:end], half_w[start:end]))
+                for node, start, end in zip(labels, bounds, bounds[1:])
+            }
         graph._order = dict(zip(labels, range(n)))
         graph._next_order = n
         graph._num_edges = int(edge_u.shape[0])

@@ -14,6 +14,13 @@ fixed), but the dynamic churn workloads label fresh nodes with tuples.
 Nodes may be arbitrary hashable labels (SNAP-style integer ids, strings, ...).
 Insertion order is preserved for nodes *and* neighbours, which makes every
 iteration order — and hence every seeded experiment — deterministic.
+
+Edges may optionally carry a weight (an existence probability in the
+uncertain-graph workload).  Weights live in a separate mirrored mapping
+that is only allocated once the first weighted edge arrives, so an
+unweighted graph pays nothing — not one extra dict — and every existing
+code path is bit-identical.  In a weighted graph, edges added without an
+explicit weight default to ``1.0`` (a certain edge).
 """
 
 from __future__ import annotations
@@ -53,11 +60,15 @@ class Graph:
         "_csr_cache",
         "_csr_version",
         "_version",
+        "_weights",
     )
 
     def __init__(self, edges: Iterable[Edge] = (), nodes: Iterable[Node] = ()) -> None:
         #: node -> {neighbour: None}, insertion-ordered (see module docstring)
         self._adj: Dict[Node, Dict[Node, None]] = {}
+        #: node -> {neighbour: weight}, mirroring ``_adj`` — ``None`` until
+        #: the first weighted edge arrives (the unweighted fast path).
+        self._weights: Optional[Dict[Node, Dict[Node, float]]] = None
         #: node -> insertion index, used for canonical edge orientation.
         #: Indices come from a monotonic counter (never reused), so nodes
         #: added after removals cannot collide with surviving nodes.
@@ -88,27 +99,40 @@ class Graph:
         if node in self._adj:
             return False
         self._adj[node] = {}
+        if self._weights is not None:
+            self._weights[node] = {}
         self._order[node] = self._next_order
         self._next_order += 1
         self._csr_cache = None
         self._version += 1
         return True
 
-    def add_edge(self, u: Node, v: Node) -> bool:
+    def add_edge(self, u: Node, v: Node, weight: Optional[float] = None) -> bool:
         """Add the undirected edge ``(u, v)``, creating endpoints as needed.
 
         Returns ``True`` if the edge is new, ``False`` if it already existed.
-        Raises :class:`SelfLoopError` for ``u == v``.
+        Raises :class:`SelfLoopError` for ``u == v``.  An explicit ``weight``
+        makes the graph weighted (see :attr:`is_weighted`); re-adding an
+        existing edge with a weight updates that weight.
         """
         if u == v:
             raise SelfLoopError(u)
         self.add_node(u)
         self.add_node(v)
         if v in self._adj[u]:
+            if weight is not None:
+                self.set_edge_weight(u, v, weight)
             return False
         self._adj[u][v] = None
         self._adj[v][u] = None
         self._num_edges += 1
+        if weight is not None:
+            weights = self._ensure_weights()
+            weights[u][v] = float(weight)
+            weights[v][u] = float(weight)
+        elif self._weights is not None:
+            self._weights[u][v] = 1.0
+            self._weights[v][u] = 1.0
         self._csr_cache = None
         self._version += 1
         return True
@@ -119,6 +143,9 @@ class Graph:
             raise EdgeNotFoundError(u, v)
         del self._adj[u][v]
         del self._adj[v][u]
+        if self._weights is not None:
+            del self._weights[u][v]
+            del self._weights[v][u]
         self._num_edges -= 1
         self._csr_cache = None
         self._version += 1
@@ -129,6 +156,9 @@ class Graph:
             return False
         del self._adj[u][v]
         del self._adj[v][u]
+        if self._weights is not None:
+            del self._weights[u][v]
+            del self._weights[v][u]
         self._num_edges -= 1
         self._csr_cache = None
         self._version += 1
@@ -140,9 +170,36 @@ class Graph:
             raise NodeNotFoundError(node)
         for neighbor in self._adj[node]:
             del self._adj[neighbor][node]
+            if self._weights is not None:
+                del self._weights[neighbor][node]
         self._num_edges -= len(self._adj[node])
         del self._adj[node]
+        if self._weights is not None:
+            del self._weights[node]
         del self._order[node]
+        self._csr_cache = None
+        self._version += 1
+
+    def _ensure_weights(self) -> Dict[Node, Dict[Node, float]]:
+        """Allocate the weight mirror (existing edges default to 1.0)."""
+        if self._weights is None:
+            self._weights = {
+                node: dict.fromkeys(neighbors, 1.0)
+                for node, neighbors in self._adj.items()
+            }
+        return self._weights
+
+    def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Set the weight of the existing edge ``(u, v)``.
+
+        Makes the graph weighted if it was not already (every other edge
+        defaults to 1.0).  Raises :class:`EdgeNotFoundError` if absent.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        weights = self._ensure_weights()
+        weights[u][v] = float(weight)
+        weights[v][u] = float(weight)
         self._csr_cache = None
         self._version += 1
 
@@ -170,6 +227,41 @@ class Graph:
         errors instead of corrupted Δ bookkeeping.
         """
         return self._version
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether this graph carries edge weights/probabilities."""
+        return self._weights is not None
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``(u, v)`` (1.0 on an unweighted graph).
+
+        Raises :class:`EdgeNotFoundError` if the edge is absent.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        if self._weights is None:
+            return 1.0
+        return self._weights[u][v]
+
+    def weighted_degree(self, node: Node) -> float:
+        """Expected degree of ``node``: the sum of incident edge weights.
+
+        Equals ``float(degree(node))`` on an unweighted graph.
+        """
+        if self._weights is None:
+            return float(self.degree(node))
+        try:
+            incident = self._weights[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return float(sum(incident.values()))
+
+    def edge_weights(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate ``(u, v, weight)`` triples in :meth:`edges` order."""
+        weights = self._weights
+        for u, v in self.edges():
+            yield (u, v, 1.0 if weights is None else weights[u][v])
 
     def has_node(self, node: Node) -> bool:
         return node in self._adj
@@ -276,6 +368,10 @@ class Graph:
         """Return a deep structural copy (labels shared, adjacencies new)."""
         clone = Graph()
         clone._adj = {node: dict(neighbors) for node, neighbors in self._adj.items()}
+        if self._weights is not None:
+            clone._weights = {
+                node: dict(incident) for node, incident in self._weights.items()
+            }
         clone._order = dict(self._order)
         clone._next_order = self._next_order
         clone._num_edges = self._num_edges
@@ -297,11 +393,15 @@ class Graph:
         so a "reduced graph" can never silently invent edges.
         """
         sub = Graph()
+        self_weights = self._weights
         if not keep_all_nodes:
             for u, v in edges:
                 if not self.has_edge(u, v):
                     raise EdgeNotFoundError(u, v)
-                sub.add_edge(u, v)
+                sub.add_edge(
+                    u, v,
+                    weight=None if self_weights is None else self_weights[u][v],
+                )
             return sub
         # Full-node-set path (the paper's V' = V convention): build the
         # adjacency directly instead of going through add_edge, which would
@@ -309,6 +409,9 @@ class Graph:
         # reduction result funnels through here, so this is a hot tail.
         self_adj = self._adj
         adj: Dict[Node, Dict[Node, None]] = {node: {} for node in self_adj}
+        weights: Optional[Dict[Node, Dict[Node, float]]] = (
+            None if self_weights is None else {node: {} for node in self_adj}
+        )
         count = 0
         for u, v in edges:
             neighbors = self_adj.get(u)
@@ -318,8 +421,13 @@ class Graph:
             if v not in targets:
                 targets[v] = None
                 adj[v][u] = None
+                if weights is not None:
+                    w = self_weights[u][v]
+                    weights[u][v] = w
+                    weights[v][u] = w
                 count += 1
         sub._adj = adj
+        sub._weights = weights
         sub._order = dict(self._order)
         sub._next_order = self._next_order
         sub._num_edges = count
@@ -335,9 +443,12 @@ class Graph:
         for node in self._adj:
             if node in keep:
                 sub.add_node(node)
+        weights = self._weights
         for u, v in self.edges():
             if u in keep and v in keep:
-                sub.add_edge(u, v)
+                sub.add_edge(
+                    u, v, weight=None if weights is None else weights[u][v]
+                )
         return sub
 
     # ------------------------------------------------------------------
@@ -354,12 +465,22 @@ class Graph:
         return iter(self._adj)
 
     def __eq__(self, other: object) -> bool:
-        """Structural equality: same node set and same edge set."""
+        """Structural equality: same node set, edge set and (if any) weights."""
         if not isinstance(other, Graph):
             return NotImplemented
         if self._adj.keys() != other._adj.keys():
             return False
-        return all(self._adj[node] == other._adj[node] for node in self._adj)
+        if not all(self._adj[node] == other._adj[node] for node in self._adj):
+            return False
+        if self._weights is None and other._weights is None:
+            return True
+        # One (or both) weighted: compare effective weights, treating a
+        # missing mirror as all-ones so `g == g.copy()` survives a
+        # set_edge_weight(…, 1.0) round-trip.
+        for u, v in self.edges():
+            if self.edge_weight(u, v) != other.edge_weight(u, v):
+                return False
+        return True
 
     def __repr__(self) -> str:
         return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

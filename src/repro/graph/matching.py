@@ -21,6 +21,7 @@ from repro.rng import RandomState, ensure_rng
 __all__ = [
     "greedy_b_matching",
     "greedy_b_matching_ids",
+    "greedy_weighted_b_matching_ids",
     "is_b_matching",
     "is_maximal_b_matching",
 ]
@@ -270,6 +271,48 @@ def greedy_b_matching_ids(
             extra[u] += 1
             extra[v] += 1
     kept[remaining[newly_kept]] = True
+    return kept
+
+
+def greedy_weighted_b_matching_ids(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    weights: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """Greedy maximal *weighted* b-matching: capacities bound probability mass.
+
+    The uncertain-graph analogue of :func:`greedy_b_matching_ids`: edge
+    ``k`` is kept iff both endpoints can still absorb its weight, i.e.
+    ``load[u] + w_k <= cap[u]`` (mass admission).  ``capacities`` is a
+    float array of rounded expected-mass budgets.  With all weights exactly
+    1.0 and integer-valued capacities the admission rule degenerates to the
+    count rule ``load < cap`` — float loads built from exact-integer
+    increments stay exact — so the kept-mask equals the unweighted scan's
+    bit for bit.
+
+    Raises :class:`GraphError` on negative capacities or weights.
+    """
+    if np.any(capacities < 0):
+        worst = int(np.argmin(capacities))
+        raise GraphError(
+            f"capacity for node id {worst} is negative: {float(capacities[worst])}"
+        )
+    if weights.shape[0] and np.any(weights < 0):
+        raise GraphError("edge weights must be non-negative")
+    kept = np.zeros(edge_u.shape[0], dtype=bool)
+    caps = capacities.tolist()
+    loads = [0.0] * int(capacities.shape[0])
+    kept_positions = []
+    append = kept_positions.append
+    for k, (u, v, w) in enumerate(
+        zip(edge_u.tolist(), edge_v.tolist(), weights.tolist())
+    ):
+        if loads[u] + w <= caps[u] and loads[v] + w <= caps[v]:
+            append(k)
+            loads[u] += w
+            loads[v] += w
+    kept[kept_positions] = True
     return kept
 
 

@@ -28,6 +28,7 @@ from repro.core.crr import CRRShedder
 from repro.core.random_shed import DegreeProportionalShedder, RandomShedder
 from repro.errors import ServiceError
 from repro.graph.graph import Graph
+from repro.uncertain.shedders import WeightedBM2Shedder, WeightedCRRShedder
 
 __all__ = [
     "KNOWN_METHODS",
@@ -49,6 +50,7 @@ def make_shedder(
     num_sources: Optional[int] = None,
     sparsify: Optional[str] = None,
     sparsify_beta: Optional[int] = None,
+    weighted: bool = False,
 ) -> EdgeShedder:
     """Build the shedder for a method key.
 
@@ -56,14 +58,40 @@ def make_shedder(
     ``num_sources`` switches CRR/UDS to sampled betweenness.  ``sparsify`` /
     ``sparsify_beta`` configure BM2's EDCS candidate pruning (``bm2``
     defaults to ``"off"``, ``bm2-sparse`` to ``"edcs"``; setting them on any
-    other method is an error).  Raises :class:`ServiceError` for unknown
-    keys.
+    other method is an error).  ``weighted`` swaps CRR/BM2 for their
+    probability-aware :mod:`repro.uncertain` variants (array engine only;
+    other methods have no weighted form).  Raises :class:`ServiceError`
+    for unknown keys.
     """
     method = method.lower()
     if method not in ("bm2", "bm2-sparse") and (
         sparsify is not None or sparsify_beta is not None
     ):
         raise ServiceError(f"sparsify options require bm2/bm2-sparse, got {method!r}")
+    if weighted:
+        if engine != "array":
+            raise ServiceError(
+                f"weighted shedding requires the array engine, got {engine!r}"
+            )
+        if method == "crr":
+            return WeightedCRRShedder(seed=seed, num_betweenness_sources=num_sources)
+        if method == "bm2":
+            return WeightedBM2Shedder(
+                seed=seed,
+                sparsify=sparsify if sparsify is not None else "off",
+                sparsify_beta=sparsify_beta,
+            )
+        if method == "bm2-sparse":
+            return WeightedBM2Shedder(
+                seed=seed,
+                sparsify=sparsify if sparsify is not None else "edcs",
+                sparsify_beta=sparsify_beta,
+            )
+        if method in KNOWN_METHODS:
+            raise ServiceError(f"method {method!r} has no weighted variant")
+        raise ServiceError(
+            f"unknown method {method!r} (expected one of {', '.join(KNOWN_METHODS)})"
+        )
     if method == "crr":
         return CRRShedder(seed=seed, engine=engine, num_betweenness_sources=num_sources)
     if method == "bm2":
@@ -139,6 +167,7 @@ class ReductionRequest:
     seed: int = 0
     engine: str = "array"
     num_sources: Optional[int] = None
+    weighted: bool = False
     priority: int = 0
     deadline_seconds: Optional[float] = None
     max_resident_edges: Optional[int] = None
@@ -152,6 +181,15 @@ class ReductionRequest:
             raise ServiceError(f"p must be in (0, 1), got {self.p!r}")
         if self.method.lower() not in KNOWN_METHODS:
             raise ServiceError(f"unknown method {self.method!r}")
+        if self.weighted:
+            if self.method.lower() not in ("crr", "bm2", "bm2-sparse"):
+                raise ServiceError(
+                    f"method {self.method!r} has no weighted variant"
+                )
+            if self.engine != "array":
+                raise ServiceError(
+                    f"weighted shedding requires the array engine, got {self.engine!r}"
+                )
         if self.deadline_seconds is not None and self.deadline_seconds < 0:
             raise ServiceError(f"deadline_seconds must be >= 0, got {self.deadline_seconds}")
         if self.max_resident_edges is not None and self.max_resident_edges <= 0:
@@ -162,7 +200,8 @@ class ReductionRequest:
     def describe(self) -> str:
         where = self.graph_ref or "<inline graph>"
         tag = f" [{self.label}]" if self.label else ""
-        return f"{self.method} p={self.p:g} seed={self.seed} on {where}{tag}"
+        flavour = " weighted" if self.weighted else ""
+        return f"{self.method}{flavour} p={self.p:g} seed={self.seed} on {where}{tag}"
 
 
 @dataclass
@@ -209,6 +248,7 @@ class ServiceResult:
                 "method": self.request.method,
                 "p": self.request.p,
                 "seed": self.request.seed,
+                "weighted": self.request.weighted,
                 "graph_ref": self.request.graph_ref,
                 "priority": self.request.priority,
                 "deadline_seconds": self.request.deadline_seconds,

@@ -230,11 +230,17 @@ def _reduce_job(payload: Tuple) -> Tuple[np.ndarray, np.ndarray, float, float, D
     neighbour subsequences are preserved) — the property the array
     engines' bit-identity rests on.
     """
-    labels, u_ids, v_ids, method, p, seed, engine, num_sources = payload
+    labels, u_ids, v_ids, edge_w, method, p, seed, engine, num_sources, weighted = payload
     graph = Graph(nodes=labels)
-    for i, j in zip(u_ids.tolist(), v_ids.tolist()):
-        graph.add_edge(labels[i], labels[j])
-    shedder = make_shedder(method, seed=seed, engine=engine, num_sources=num_sources)
+    if edge_w is None:
+        for i, j in zip(u_ids.tolist(), v_ids.tolist()):
+            graph.add_edge(labels[i], labels[j])
+    else:
+        for i, j, w in zip(u_ids.tolist(), v_ids.tolist(), edge_w.tolist()):
+            graph.add_edge(labels[i], labels[j], weight=w)
+    shedder = make_shedder(
+        method, seed=seed, engine=engine, num_sources=num_sources, weighted=weighted
+    )
     result = shedder.reduce(graph, p)
     index_of = {node: idx for idx, node in enumerate(labels)}
     reduced_edges = list(result.reduced.edges())
@@ -250,7 +256,8 @@ def _reduce_job(payload: Tuple) -> Tuple[np.ndarray, np.ndarray, float, float, D
 class ProcessEngine:
     """Bounded process pool running reductions out-of-process.
 
-    Ships ``(labels, edge-id arrays, method, p, seed)`` per job — the
+    Ships ``(labels, edge-id arrays, optional weights, method, p, seed)``
+    per job — the
     flat-array pattern of :mod:`repro.graph.parallel` — and rebuilds the
     :class:`ReductionResult` parent-side from the returned edge ids.
     """
@@ -285,11 +292,19 @@ class ProcessEngine:
         engine: str = "array",
         num_sources: Optional[int] = None,
         timeout: Optional[float] = None,
+        weighted: bool = False,
     ) -> ReductionResult:
         """Run one reduction in the pool; raise on deadline expiry."""
         csr = graph.csr()
         u_ids, v_ids = csr.edge_list_ids()
-        payload = (csr.labels, u_ids, v_ids, method, p, seed, engine, num_sources)
+        # Weights ship whenever the graph carries them (weight-blind runs
+        # on weighted graphs still need worker-side Δ_E stats); ``weighted``
+        # additionally selects the probability-aware shedder.
+        edge_w = csr.edge_weights_for(u_ids, v_ids) if csr.is_weighted else None
+        payload = (
+            csr.labels, u_ids, v_ids, edge_w, method, p, seed, engine,
+            num_sources, weighted,
+        )
         task = self._ensure_pool().apply_async(_reduce_job, (payload,))
         try:
             out_u, out_v, delta, elapsed, stats, method_name = task.get(timeout)

@@ -376,6 +376,10 @@ class SheddingService:
         if request.deadline_seconds is not None:
             timeout = max(request.deadline_seconds - (time.perf_counter() - job.enqueued_at), 0.05)
 
+        # Degraded fallbacks may land on a method with no weighted variant
+        # (e.g. random); those run weight-blind — the trail says why.
+        runs_weighted = request.weighted and method in ("crr", "bm2", "bm2-sparse")
+
         if self._engine is not None:
             try:
                 result = self._engine.execute(
@@ -386,6 +390,7 @@ class SheddingService:
                     engine=request.engine,
                     num_sources=request.num_sources,
                     timeout=timeout,
+                    weighted=runs_weighted,
                 )
             except JobTimeoutError:
                 # Terminal fallback: a cheap uniform reduction beats no
@@ -419,6 +424,7 @@ class SheddingService:
                 seed=request.seed,
                 engine=request.engine if method in ("crr", "bm2") else "array",
                 num_sources=request.num_sources,
+                weighted=runs_weighted,
             )
             result = shedder.reduce(graph, request.p)
 
@@ -462,6 +468,9 @@ class SheddingService:
             self.mode == "sharded"
             and method in ("crr", "bm2", "bm2-sparse")
             and request.engine == "array"
+            # The sharded runner is weight-blind; weighted jobs run the
+            # whole-graph probability-aware engines instead.
+            and not request.weighted
         )
 
     def _variant(self, request: ReductionRequest, method: str) -> str:
@@ -527,7 +536,14 @@ class SheddingService:
 
 def _variant_of(request: ReductionRequest) -> str:
     """Extra cache-key discriminators beyond (method, p, seed, engine)."""
-    return f"sources={request.num_sources}" if request.num_sources is not None else ""
+    tags = []
+    if request.num_sources is not None:
+        tags.append(f"sources={request.num_sources}")
+    if request.weighted:
+        # Weight-aware and weight-blind runs on the same weighted graph
+        # share digest/method/p/seed — the tag keeps their artifacts apart.
+        tags.append("weighted")
+    return ",".join(tags)
 
 
 def resolve_graph_ref(ref: str, seed: int) -> Graph:

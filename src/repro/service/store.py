@@ -64,7 +64,13 @@ def graph_digest(graph: Graph) -> str:
     identically regardless of insertion order.  Labels are distinguished
     by type (``1`` vs ``"1"`` differ), and the hash is stable across
     processes (no reliance on ``hash()``).
+
+    Weighted graphs (:attr:`Graph.is_weighted`) fold each edge's weight
+    into its token via ``repr``, so the same topology under two weight
+    fields caches separately; the byte stream for unweighted graphs is
+    unchanged from before weights existed, preserving old disk caches.
     """
+    weighted = graph.is_weighted
     hasher = sha256(b"repro-graph-v1\0")
     for token in sorted(_node_token(node) for node in graph.nodes()):
         hasher.update(token.encode("utf-8"))
@@ -73,7 +79,10 @@ def graph_digest(graph: Graph) -> str:
     edge_tokens = []
     for u, v in graph.edges():
         a, b = _node_token(u), _node_token(v)
-        edge_tokens.append(a + "|" + b if a <= b else b + "|" + a)
+        token = a + "|" + b if a <= b else b + "|" + a
+        if weighted:
+            token += "|" + repr(graph.edge_weight(u, v))
+        edge_tokens.append(token)
     for token in sorted(edge_tokens):
         hasher.update(token.encode("utf-8"))
         hasher.update(b"\0")

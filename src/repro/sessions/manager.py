@@ -37,6 +37,7 @@ from repro.service.admission import BudgetLedger
 from repro.service.metrics import MetricsRegistry
 from repro.service.request import make_shedder
 from repro.service.service import DEFAULT_EDGE_BUDGET, resolve_graph_ref
+from repro.service.store import ArtifactStore
 from repro.sessions.session import SessionConfig, StreamSession
 
 __all__ = ["SessionManager"]
@@ -63,6 +64,11 @@ class SessionManager:
             interleave can be tested, not for CPU parallelism.
         graph_loader: override for ``graph_ref`` resolution (defaults to
             the service's :func:`~repro.service.resolve_graph_ref`).
+        artifact_store: optional :class:`~repro.service.ArtifactStore`;
+            when set, every *graceful* session close exports the final
+            detached reduction into it (see
+            :meth:`StreamSession.export_artifact`), so streamed results
+            land in the same cache the one-shot service serves from.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class SessionManager:
         max_resident_edges: int = DEFAULT_EDGE_BUDGET,
         num_workers: int = 2,
         graph_loader: Optional[Callable[[str, int], Graph]] = None,
+        artifact_store: Optional[ArtifactStore] = None,
     ) -> None:
         if num_workers < 1:
             raise SessionError(f"num_workers must be >= 1, got {num_workers}")
@@ -77,6 +84,7 @@ class SessionManager:
         self.metrics = MetricsRegistry()
         self.num_workers = num_workers
         self._graph_loader = graph_loader or resolve_graph_ref
+        self.artifact_store = artifact_store
         self._sessions: Dict[str, StreamSession] = {}
         self._ids = itertools.count()
         self._runnable: "asyncio.Queue[StreamSession]" = asyncio.Queue()
@@ -196,8 +204,16 @@ class SessionManager:
         queued ops (they are counted as rejected — never silently lost).
         Either way the session's whole ledger charge is released, even
         when it already died mid-churn.
+
+        With an :attr:`artifact_store` configured, a graceful close of a
+        healthy session also exports the final detached reduction into
+        the store (payload round-trip, so nothing aliases the dying
+        session); the returned telemetry gains an ``artifact`` entry with
+        the store key token.  Forced and failed closes export nothing —
+        their final graph does not reflect every accepted op.
         """
         self._sessions.pop(session.session_id, None)
+        exported_key = None
         if session.failed is None and not session.closed:
             if force:
                 abandoned = len(session._drain_batch())
@@ -207,9 +223,21 @@ class SessionManager:
                     session.metrics.counter("ops_rejected").inc(abandoned)
             else:
                 await session.flush()
+                if self.artifact_store is not None:
+                    exported_key = await asyncio.to_thread(
+                        session.export_artifact, self.artifact_store
+                    )
+                    self.metrics.counter("artifacts_exported").inc()
         session._release_all()
         self.metrics.counter("sessions_closed").inc()
-        return session.telemetry()
+        telemetry = session.telemetry()
+        if exported_key is not None:
+            telemetry["artifact"] = {
+                "token": exported_key.token,
+                "method": exported_key.method,
+                "variant": exported_key.variant,
+            }
+        return telemetry
 
     def get(self, session_id: str) -> StreamSession:
         """Look up an open session by id."""

@@ -54,6 +54,7 @@ from repro.dynamic.repair import RepairConfig
 from repro.errors import SessionError
 from repro.graph.io import graph_from_payload, graph_to_payload
 from repro.service.admission import BudgetLedger
+from repro.service.store import ArtifactKey, ArtifactStore
 from repro.service.metrics import (
     MetricsRegistry,
     OP_LATENCY_BOUNDS,
@@ -385,6 +386,28 @@ class StreamSession:
             stats=stats,
             delta=shedder.delta,
         )
+
+    def export_artifact(self, store: "ArtifactStore") -> "ArtifactKey":
+        """Write the detached :meth:`export_result` into an artifact store.
+
+        The key is content-addressed on the session's *final* original
+        graph, but a streamed reduction depends on the whole op history,
+        not just the final state — so the variant carries the session id
+        and op count, keeping streamed artifacts from ever being served
+        in place of (or poisoned by) one-shot reductions of the same
+        graph.  Returns the key the artifact was stored under.
+        """
+        result = self.export_result()
+        key = store.key_for(
+            result.original,
+            result.method,
+            self.config.p,
+            self.config.seed,
+            engine="array",
+            variant=f"session={self.session_id},ops={result.stats['ops']}",
+        )
+        store.put(key, result)
+        return key
 
     # ------------------------------------------------------------------
     # Manager-side hooks (single event loop; called by the worker pool)

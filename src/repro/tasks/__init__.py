@@ -14,7 +14,7 @@ from repro.tasks.betweenness import BetweennessCentralityTask
 from repro.tasks.clustering import ClusteringCoefficientTask
 from repro.tasks.community import CommunityTask
 from repro.tasks.connectivity import ConnectivityTask
-from repro.tasks.degree import DegreeDistributionTask
+from repro.tasks.degree import DegreeDistributionTask, WeightedDegreeDistributionTask
 from repro.tasks.hopplot import HopPlotTask
 from repro.tasks.link_prediction import LinkPredictionTask, two_hop_pairs
 from repro.tasks.metrics import (
@@ -33,6 +33,7 @@ __all__ = [
     "TaskArtifact",
     "TaskEvaluation",
     "DegreeDistributionTask",
+    "WeightedDegreeDistributionTask",
     "ShortestPathDistanceTask",
     "BetweennessCentralityTask",
     "ClusteringCoefficientTask",

@@ -6,6 +6,12 @@ reduced graph the paper's estimator rescales observed degrees by ``1/p``
 methods reproduce the *original* distribution; set ``rescale=False`` to
 inspect raw reduced-graph degrees instead.  A ``cap`` aggregates the tail
 (the paper caps email-Enron at 300 in Figure 5).
+
+:class:`WeightedDegreeDistributionTask` is the uncertain-graph variant
+(:mod:`repro.uncertain`): the per-vertex quantity is *expected degree*
+``Σ w(e)``, binned to the nearest integer, with the same ``1/p``
+estimator.  On an unweighted graph it computes exactly the unweighted
+distribution.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from repro.graph.graph import Graph
 from repro.tasks.base import GraphTask, TaskArtifact
 from repro.tasks.metrics import cdf_similarity
 
-__all__ = ["DegreeDistributionTask"]
+__all__ = ["DegreeDistributionTask", "WeightedDegreeDistributionTask"]
 
 
 class DegreeDistributionTask(GraphTask):
@@ -49,4 +55,41 @@ class DegreeDistributionTask(GraphTask):
     def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
         # CDF-based similarity: robust to the support aliasing the 1/p
         # estimator introduces (p = 0.5 only produces even degrees).
+        return cdf_similarity(original.value, reduced.value)
+
+
+class WeightedDegreeDistributionTask(GraphTask):
+    """Expected-degree distribution with the ``mass/p`` estimator.
+
+    Expected degrees are continuous, so vertices are binned at the nearest
+    integer (half-up) after rescaling; ``cap`` aggregates the tail like
+    the unweighted task.  On an unweighted graph every expected degree is
+    the integer degree and the artifact equals
+    :class:`DegreeDistributionTask`'s.
+    """
+
+    name = "Expected degree"
+
+    def __init__(self, cap: Optional[int] = None, rescale: bool = True) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self.rescale = rescale
+
+    def _compute(self, graph: Graph, scale: float) -> Dict[int, float]:
+        counts: Counter = Counter()
+        for node in graph.nodes():
+            mass = graph.weighted_degree(node)
+            if self.rescale and scale < 1.0:
+                mass = mass / scale
+            binned = round_half_up(mass)
+            if self.cap is not None and binned > self.cap:
+                binned = self.cap
+            counts[binned] += 1
+        n = graph.num_nodes
+        if n == 0:
+            return {}
+        return {degree: count / n for degree, count in sorted(counts.items())}
+
+    def utility(self, original: TaskArtifact, reduced: TaskArtifact) -> float:
         return cdf_similarity(original.value, reduced.value)

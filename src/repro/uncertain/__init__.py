@@ -1,0 +1,45 @@
+"""Uncertain/weighted graph shedding: probability-aware reduction.
+
+An *uncertain graph* attaches an existence probability ``w(e) ∈ [0, 1]``
+to every edge; a node's natural size there is its **expected degree**
+``E[deg(u)] = Σ w(e)``.  This package generalises the paper's
+degree-preserving shedding to that model:
+
+* :class:`WeightedCRRShedder` / :class:`WeightedBM2Shedder` — the two
+  algorithms re-targeted at ``Σ|E[deg_G'(u)] − p·E[deg_G(u)]|``, built on
+  the same id-space cores as the unweighted engines (``weighted=True``);
+  with all weights 1.0 they reproduce the unweighted reductions bit for
+  bit.
+* :func:`expected_degree_distance` — the weighted quality metric (``Δ_E``),
+  collapsing to the paper's ``Δ`` on unweighted graphs.
+* seeded uncertain-graph generators for evaluation
+  (:func:`uncertain_erdos_renyi`, :func:`uncertain_powerlaw_cluster`,
+  :func:`attach_random_weights`).
+
+Weighted inputs come from ``read_edge_list(path, weight_col=2)``
+(:mod:`repro.graph.io`), the generators here, or ``Graph.add_edge(u, v,
+weight=...)`` directly.
+"""
+
+from repro.uncertain.generators import (
+    attach_random_weights,
+    uncertain_erdos_renyi,
+    uncertain_powerlaw_cluster,
+)
+from repro.uncertain.metrics import (
+    expected_degree_array,
+    expected_degree_distance,
+    total_edge_mass,
+)
+from repro.uncertain.shedders import WeightedBM2Shedder, WeightedCRRShedder
+
+__all__ = [
+    "WeightedCRRShedder",
+    "WeightedBM2Shedder",
+    "expected_degree_array",
+    "expected_degree_distance",
+    "total_edge_mass",
+    "attach_random_weights",
+    "uncertain_erdos_renyi",
+    "uncertain_powerlaw_cluster",
+]

@@ -1,0 +1,126 @@
+"""Uncertain-graph metrics, generators and the expected-degree task."""
+
+import math
+
+import pytest
+
+from repro.core import BM2Shedder, compute_delta
+from repro.errors import GraphError, InvalidRatioError
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi
+from repro.tasks import DegreeDistributionTask, WeightedDegreeDistributionTask
+from repro.uncertain import (
+    attach_random_weights,
+    expected_degree_array,
+    expected_degree_distance,
+    total_edge_mass,
+    uncertain_erdos_renyi,
+    uncertain_powerlaw_cluster,
+)
+
+
+class TestExpectedDegreeDistance:
+    def test_matches_brute_force(self):
+        graph = uncertain_erdos_renyi(80, 0.08, seed=5)
+        reduced = BM2Shedder(seed=0).reduce(graph, 0.5).reduced
+        p = 0.5
+        brute = 0.0
+        for node in graph.nodes():
+            mass = (
+                reduced.weighted_degree(node) if reduced.has_node(node) else 0.0
+            )
+            brute += abs(mass - p * graph.weighted_degree(node))
+        assert math.isclose(
+            expected_degree_distance(graph, reduced, p), brute, rel_tol=1e-12
+        )
+
+    def test_unweighted_equals_compute_delta(self, small_powerlaw):
+        reduced = BM2Shedder(seed=0).reduce(small_powerlaw, 0.5).reduced
+        assert expected_degree_distance(
+            small_powerlaw, reduced, 0.5
+        ) == compute_delta(small_powerlaw, reduced, 0.5)
+
+    def test_identity_reduction(self):
+        graph = uncertain_erdos_renyi(40, 0.1, seed=1)
+        # Keeping everything leaves |mass - p*mass| = (1-p)*mass per node.
+        dist = expected_degree_distance(graph, graph, 0.5)
+        assert math.isclose(dist, 0.5 * 2.0 * total_edge_mass(graph), rel_tol=1e-12)
+
+    def test_rejects_bad_ratio(self):
+        graph = uncertain_erdos_renyi(10, 0.3, seed=0)
+        with pytest.raises(InvalidRatioError):
+            expected_degree_distance(graph, graph, 1.5)
+
+
+class TestExpectedDegreeArray:
+    def test_matches_weighted_degree(self):
+        graph = uncertain_erdos_renyi(50, 0.1, seed=2)
+        arr = expected_degree_array(graph)
+        labels = graph.csr().labels
+        for idx, node in enumerate(labels):
+            assert math.isclose(
+                arr[idx], graph.weighted_degree(node), rel_tol=1e-12
+            )
+
+    def test_total_edge_mass(self):
+        graph = uncertain_erdos_renyi(50, 0.1, seed=2)
+        total = sum(w for _, _, w in graph.edge_weights())
+        assert math.isclose(total_edge_mass(graph), total, rel_tol=1e-12)
+
+
+class TestGenerators:
+    def test_weights_in_range_and_deterministic(self):
+        a = uncertain_erdos_renyi(60, 0.1, seed=7)
+        b = uncertain_erdos_renyi(60, 0.1, seed=7)
+        assert a.is_weighted
+        weights = [w for _, _, w in a.edge_weights()]
+        assert weights == [w for _, _, w in b.edge_weights()]
+        assert all(0.05 <= w < 1.0 for w in weights)
+
+    def test_topology_matches_unweighted_generator(self):
+        weighted = uncertain_erdos_renyi(60, 0.1, seed=7)
+        plain = erdos_renyi(60, 0.1, seed=7)
+        assert sorted(weighted.edges()) == sorted(plain.edges())
+
+    def test_powerlaw_variant(self):
+        graph = uncertain_powerlaw_cluster(80, 3, 0.4, seed=3)
+        assert graph.is_weighted
+        assert graph.num_edges > 0
+
+    def test_attach_rejects_bad_bounds(self):
+        graph = erdos_renyi(20, 0.2, seed=0)
+        with pytest.raises(GraphError):
+            attach_random_weights(graph, seed=0, low=0.5, high=0.2)
+        with pytest.raises(GraphError):
+            attach_random_weights(graph, seed=0, low=-0.1, high=0.5)
+
+    def test_attach_is_in_place(self):
+        graph = erdos_renyi(20, 0.2, seed=0)
+        out = attach_random_weights(graph, seed=1)
+        assert out is graph and graph.is_weighted
+
+
+class TestWeightedDegreeTask:
+    def test_degenerates_to_unweighted_task(self, small_powerlaw):
+        result = BM2Shedder(seed=0).reduce(small_powerlaw, 0.5)
+        plain = DegreeDistributionTask().evaluate(small_powerlaw, result)
+        weighted = WeightedDegreeDistributionTask().evaluate(small_powerlaw, result)
+        assert weighted.original.value == plain.original.value
+        assert weighted.reduced.value == plain.reduced.value
+        assert weighted.utility == plain.utility
+
+    def test_weighted_artifact_bins_expected_degree(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.set_edge_weight(0, 1, 0.4)
+        graph.set_edge_weight(1, 2, 0.2)
+        task = WeightedDegreeDistributionTask(rescale=False)
+        artifact = task.compute(graph)
+        # expected degrees: 0.4, 0.6, 0.2 -> bins 0, 1, 0
+        assert artifact.value == {0: 2 / 3, 1: 1 / 3}
+
+    def test_cap_aggregates_tail(self):
+        graph = uncertain_erdos_renyi(60, 0.3, seed=4)
+        task = WeightedDegreeDistributionTask(cap=3, rescale=False)
+        assert max(task.compute(graph).value) <= 3
+        with pytest.raises(ValueError):
+            WeightedDegreeDistributionTask(cap=0)
